@@ -1,0 +1,106 @@
+// E12 — delivery under adversarial peers (paper §IV-B).
+//
+// Adversaries drop foreign blocks and never initiate gossip. The
+// paper's assumption is that among each user's k closest neighbours
+// at least one is honest; as long as the honest subgraph stays
+// connected, every block still reaches every honest node. We sweep
+// the adversary fraction on a clique (honest subgraph always
+// connected → delivery stays 100%) and then on a ring (adversaries
+// can cut the honest path → delivery collapses), measuring delivery
+// rate and time.
+#include <cstdio>
+#include <vector>
+
+#include "node/cluster.h"
+#include "sim/topology.h"
+
+using namespace vegvisir;
+
+namespace {
+
+struct Result {
+  double delivery = 0;  // fraction of honest nodes reached
+  double seconds = -1;  // time to full honest delivery (-1: never)
+};
+
+Result Run(bool clique, int n, const std::vector<int>& adversaries) {
+  sim::ExplicitTopology topo(n);
+  if (clique) {
+    topo.MakeClique();
+  } else {
+    topo.MakeRing();
+  }
+  node::ClusterConfig cfg;
+  cfg.node_count = n;
+  cfg.seed = 8;
+  cfg.adversaries = adversaries;
+  node::Cluster cluster(cfg, &topo);
+  cluster.RunFor(40'000);
+
+  const auto h = cluster.node(0).AddWitnessBlock();
+  if (!h.ok()) return {};
+  const sim::TimeMs start = cluster.simulator().now();
+  const sim::TimeMs deadline = start + 300'000;
+
+  const auto honest_reached = [&] {
+    int reached = 0;
+    for (int i : cluster.honest()) {
+      if (cluster.node(i).dag().Contains(*h)) ++reached;
+    }
+    return reached;
+  };
+
+  Result result;
+  const int honest_total = static_cast<int>(cluster.honest().size());
+  while (cluster.simulator().now() < deadline) {
+    if (honest_reached() == honest_total) {
+      result.seconds = (cluster.simulator().now() - start) / 1000.0;
+      break;
+    }
+    cluster.RunFor(1'000);
+  }
+  result.delivery =
+      static_cast<double>(honest_reached()) / honest_total;
+  return result;
+}
+
+std::vector<int> EverykTh(int n, int stride) {
+  std::vector<int> out;
+  for (int i = 1; i < n; i += stride) out.push_back(i);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kNodes = 9;
+  std::printf("E12: delivery under block-dropping adversaries (9 nodes)\n");
+  std::printf("%-8s %-12s | %10s | %14s\n", "topo", "adversaries",
+              "delivery", "time-to-all (s)");
+
+  struct Case {
+    const char* label;
+    std::vector<int> adversaries;
+  };
+  const std::vector<Case> cases = {
+      {"0", {}},
+      {"2 (22%)", {3, 6}},
+      {"4 (44%)", EverykTh(kNodes, 2)},
+  };
+
+  for (const bool clique : {true, false}) {
+    for (const Case& c : cases) {
+      const Result r = Run(clique, kNodes, c.adversaries);
+      std::printf("%-8s %-12s | %9.0f%% | %14.1f\n",
+                  clique ? "clique" : "ring", c.label, r.delivery * 100,
+                  r.seconds);
+    }
+  }
+  std::printf(
+      "\nExpected shape: on the clique delivery stays 100%% at any\n"
+      "adversary fraction (every honest pair is directly connected — the\n"
+      "k-honest-neighbour assumption holds). On the ring, adversaries\n"
+      "sever the honest path and delivery collapses — exactly the failure\n"
+      "mode the paper's adversary model excludes.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E13 — restart cost: CSM snapshot vs full replay.
+//
+// A rebooting device can rebuild its application state either by
+// replaying every stored block through the CRDT state machine or by
+// loading a checkpointed snapshot (csm::StateMachine::SaveSnapshot).
+// This bench measures both paths against chain length, plus the cost
+// of producing the snapshot — quantifying the storage/startup
+// trade-off that complements the paper's §IV-I storage offload.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "chain/genesis.h"
+#include "crypto/drbg.h"
+#include "csm/state_machine.h"
+
+namespace vegvisir::csm {
+namespace {
+
+struct ChainFixture {
+  chain::Block genesis;
+  std::vector<chain::Block> blocks;
+};
+
+const ChainFixture& FixtureOfLength(int n) {
+  static std::map<int, ChainFixture>* cache = new std::map<int, ChainFixture>;
+  auto it = cache->find(n);
+  if (it != cache->end()) return it->second;
+
+  crypto::Drbg drbg(std::uint64_t{1});
+  const crypto::KeyPair owner = crypto::KeyPair::Generate(drbg);
+  ChainFixture fx{chain::GenesisBuilder("ckpt-bench").Build("owner", owner),
+                  {}};
+  chain::BlockHash parent = fx.genesis.hash();
+  std::uint64_t ts = 1'000;
+
+  chain::BlockHeader h0;
+  h0.user_id = "owner";
+  h0.timestamp_ms = ts++;
+  h0.parents = {parent};
+  fx.blocks.push_back(chain::Block::Create(
+      std::move(h0),
+      {StateMachine::MakeCreateTx("S", crdt::CrdtType::kGSet,
+                                  crdt::ValueType::kStr,
+                                  AclPolicy::AllowAll())},
+      owner));
+  parent = fx.blocks.back().hash();
+
+  for (int i = 1; i < n; ++i) {
+    chain::Transaction tx;
+    tx.crdt_name = "S";
+    tx.op = "add";
+    tx.args = {crdt::Value::OfStr("value-" + std::to_string(i))};
+    chain::BlockHeader h;
+    h.user_id = "owner";
+    h.timestamp_ms = ts++;
+    h.parents = {parent};
+    fx.blocks.push_back(chain::Block::Create(std::move(h), {tx}, owner));
+    parent = fx.blocks.back().hash();
+  }
+  return (*cache)[n] = std::move(fx);
+}
+
+StateMachine BuildState(const ChainFixture& fx) {
+  StateMachine sm;
+  sm.ApplyBlock(fx.genesis);
+  for (const chain::Block& b : fx.blocks) sm.ApplyBlock(b);
+  return sm;
+}
+
+void BM_ReplayFromBlocks(benchmark::State& state) {
+  const ChainFixture& fx = FixtureOfLength(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    StateMachine sm;
+    sm.ApplyBlock(fx.genesis);
+    for (const chain::Block& b : fx.blocks) sm.ApplyBlock(b);
+    benchmark::DoNotOptimize(sm.AppliedBlockCount());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " blocks");
+}
+BENCHMARK(BM_ReplayFromBlocks)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const StateMachine sm =
+      BuildState(FixtureOfLength(static_cast<int>(state.range(0))));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes snapshot = sm.SaveSnapshot();
+    bytes = snapshot.size();
+    benchmark::DoNotOptimize(snapshot.data());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " blocks, " +
+                 std::to_string(bytes) + " B");
+}
+BENCHMARK(BM_SnapshotSave)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const StateMachine sm =
+      BuildState(FixtureOfLength(static_cast<int>(state.range(0))));
+  const Bytes snapshot = sm.SaveSnapshot();
+  for (auto _ : state) {
+    StateMachine restored;
+    const Status s = restored.LoadSnapshot(snapshot);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " blocks");
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Ablation: compact_op_log drops applied-op history (see
+// StateMachineConfig), shrinking both the resident state and the
+// snapshot to live CRDT state only.
+void BM_SnapshotSaveCompacted(benchmark::State& state) {
+  const ChainFixture& fx = FixtureOfLength(static_cast<int>(state.range(0)));
+  StateMachineConfig cfg;
+  cfg.compact_op_log = true;
+  StateMachine sm(cfg);
+  sm.ApplyBlock(fx.genesis);
+  for (const chain::Block& b : fx.blocks) sm.ApplyBlock(b);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes snapshot = sm.SaveSnapshot();
+    bytes = snapshot.size();
+    benchmark::DoNotOptimize(snapshot.data());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " blocks, " +
+                 std::to_string(bytes) + " B (compacted)");
+}
+BENCHMARK(BM_SnapshotSaveCompacted)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace vegvisir::csm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E8 — CRDT operation and merge-cost microbenchmarks.
+//
+// Quantifies what the paper's CRDT restriction costs in compute:
+// per-operation apply latency for every CRDT type and the price of a
+// convergence fingerprint as state grows.
+#include <benchmark/benchmark.h>
+
+#include "crdt/crdt.h"
+#include "util/rng.h"
+
+namespace vegvisir::crdt {
+namespace {
+
+OpContext MakeCtx(std::uint64_t i) {
+  return OpContext{"tx" + std::to_string(i), "user-" + std::to_string(i % 5),
+                   i + 1};
+}
+
+// One representative operation per CRDT type.
+void ApplyOne(Crdt* crdt, CrdtType type, std::uint64_t i, Rng* rng) {
+  const OpContext ctx = MakeCtx(i);
+  switch (type) {
+    case CrdtType::kGSet:
+    case CrdtType::kTwoPSet:
+    case CrdtType::kOrSet:
+      crdt->Apply("add",
+                  std::vector<Value>{Value::OfStr(
+                      "elem-" + std::to_string(rng->NextBelow(1000)))},
+                  ctx);
+      break;
+    case CrdtType::kGCounter:
+      crdt->Apply("inc", std::vector<Value>{Value::OfInt(1)}, ctx);
+      break;
+    case CrdtType::kPnCounter:
+      crdt->Apply(i % 2 == 0 ? "inc" : "dec",
+                  std::vector<Value>{Value::OfInt(1)}, ctx);
+      break;
+    case CrdtType::kLwwRegister:
+    case CrdtType::kMvRegister:
+      crdt->Apply("set",
+                  std::vector<Value>{Value::OfStr(std::to_string(i))}, ctx);
+      break;
+    case CrdtType::kLwwMap:
+      crdt->Apply("put",
+                  std::vector<Value>{
+                      Value::OfStr("k" + std::to_string(rng->NextBelow(100))),
+                      Value::OfStr(std::to_string(i))},
+                  ctx);
+      break;
+    case CrdtType::kRga:
+      crdt->Apply("insert",
+                  std::vector<Value>{Value::OfStr(""),
+                                     Value::OfStr(std::to_string(i))},
+                  ctx);
+      break;
+    case CrdtType::kEwFlag:
+      crdt->Apply("enable", std::vector<Value>{}, ctx);
+      break;
+  }
+}
+
+ValueType ElemFor(CrdtType type) {
+  return (type == CrdtType::kGCounter || type == CrdtType::kPnCounter)
+             ? ValueType::kInt
+             : ValueType::kStr;
+}
+
+void BM_CrdtApply(benchmark::State& state) {
+  const auto type = static_cast<CrdtType>(state.range(0));
+  const auto crdt = CreateCrdt(type, ElemFor(type));
+  Rng rng(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ApplyOne(crdt.get(), type, i++, &rng);
+  }
+  state.SetLabel(CrdtTypeName(type));
+}
+BENCHMARK(BM_CrdtApply)->DenseRange(0, 9, 1);
+
+void BM_CrdtFingerprint(benchmark::State& state) {
+  const auto type = static_cast<CrdtType>(state.range(0));
+  const auto crdt = CreateCrdt(type, ElemFor(type));
+  Rng rng(1);
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(1));
+       ++i) {
+    ApplyOne(crdt.get(), type, i, &rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crdt->StateFingerprint());
+  }
+  state.SetLabel(std::string(CrdtTypeName(type)) + "/" +
+                 std::to_string(state.range(1)) + "ops");
+}
+BENCHMARK(BM_CrdtFingerprint)
+    ->Args({0, 100})
+    ->Args({0, 1000})
+    ->Args({2, 1000})
+    ->Args({7, 1000});
+
+void BM_CrdtCheckOp(benchmark::State& state) {
+  const auto crdt = CreateCrdt(CrdtType::kGSet, ValueType::kStr);
+  const std::vector<Value> args = {Value::OfStr("x")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crdt->CheckOp("add", args));
+  }
+}
+BENCHMARK(BM_CrdtCheckOp);
+
+}  // namespace
+}  // namespace vegvisir::crdt
+
+BENCHMARK_MAIN();

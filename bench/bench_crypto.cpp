@@ -1,0 +1,107 @@
+// E9 — crypto substrate microbenchmarks.
+//
+// Establishes the per-operation costs that the energy model
+// (sim/energy.h) abstracts: hashing throughput, Ed25519 sign/verify
+// latency, ChaCha20 sealing, DRBG generation.
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/drbg.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = BytesOf("benchmark-key");
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x3c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256::Mac(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(4096);
+
+void BM_Ed25519KeyGen(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{42});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KeyPair::Generate(drbg));
+  }
+}
+BENCHMARK(BM_Ed25519KeyGen);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{42});
+  const KeyPair kp = KeyPair::Generate(drbg);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.Sign(msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign)->Arg(64)->Arg(1024);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{42});
+  const KeyPair kp = KeyPair::Generate(drbg);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x55);
+  const Signature sig = kp.Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Verify(kp.public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify)->Arg(64)->Arg(1024);
+
+void BM_ChaCha20(benchmark::State& state) {
+  ChaCha20Key key{};
+  key[0] = 1;
+  ChaCha20Nonce nonce{};
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChaCha20Xor(key, nonce, 0, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_DrbgGenerate(benchmark::State& state) {
+  Drbg drbg(std::uint64_t{7});
+  Bytes out(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    drbg.Generate(out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DrbgGenerate)->Arg(32)->Arg(1024);
+
+}  // namespace
+}  // namespace vegvisir::crypto
+
+BENCHMARK_MAIN();

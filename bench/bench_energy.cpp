@@ -1,0 +1,149 @@
+// E4 — energy per committed transaction: Vegvisir vs proof-of-work.
+//
+// The paper's second headline (§I): PoW chains are "very
+// energy-intensive", Vegvisir "does not require proof-of-work and is
+// therefore easy on the batteries". We run the same transaction load
+// through both systems and charge every hash, signature and radio
+// byte to the energy model (constants documented in sim/energy.h and
+// EXPERIMENTS.md), then sweep PoW difficulty to show the gap is
+// structural, not an artefact of the constants.
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/pow_chain.h"
+#include "node/cluster.h"
+#include "sim/topology.h"
+
+using namespace vegvisir;
+
+namespace {
+
+constexpr int kNodes = 6;
+constexpr int kTxLoad = 30;
+
+// Vegvisir: kTxLoad transactions through a 6-node gossiping clique.
+double VegvisirMillijoulesPerTx() {
+  sim::ExplicitTopology topo(kNodes);
+  topo.MakeClique();
+  node::ClusterConfig cfg;
+  cfg.node_count = kNodes;
+  cfg.seed = 3;
+  node::Cluster cluster(cfg, &topo);
+  cluster.RunFor(30'000);
+  (void)cluster.node(0).CreateCrdt("load", crdt::CrdtType::kGSet,
+                                   crdt::ValueType::kStr,
+                                   csm::AclPolicy::AllowAll());
+  cluster.RunFor(10'000);
+
+  int committed = 0;
+  for (int i = 0; i < kTxLoad; ++i) {
+    if (cluster.node(i % kNodes)
+            .AppendOp("load", "add",
+                      {crdt::Value::OfStr("tx-" + std::to_string(i))})
+            .ok()) {
+      ++committed;
+    }
+    cluster.RunFor(2'000);
+  }
+  cluster.RunFor(60'000);  // full dissemination
+
+  double total_mj = 0;
+  for (int i = 0; i < kNodes; ++i) total_mj += cluster.meter(i).total_mj();
+  return total_mj / committed;
+}
+
+// PoW: the same load mined at the given difficulty; energy = hash
+// attempts at pow_hash_nj plus broadcasting each block to n-1 peers.
+double PowMillijoulesPerTx(std::uint32_t difficulty_bits) {
+  baseline::PowParams params;
+  params.difficulty_bits = difficulty_bits;
+  params.max_txs_per_block = 4;
+  baseline::PowNode miner(params, 11);
+  sim::EnergyMeter meter;  // default constants
+
+  std::uint64_t block_bytes = 0;
+  int blocks = 0;
+  for (int i = 0; i < kTxLoad; ++i) {
+    miner.SubmitTx(BytesOf("tx-" + std::to_string(i)));
+    while (miner.mempool_size() >= params.max_txs_per_block) {
+      if (miner.Mine(2'000'000, static_cast<std::uint64_t>(i)) ) {
+        ++blocks;
+        block_bytes += 200;  // approx. block wire size
+      } else {
+        break;  // pathological difficulty for the bench budget
+      }
+    }
+  }
+  while (miner.mempool_size() > 0 &&
+         miner.Mine(2'000'000, 10'000)) {
+    ++blocks;
+    block_bytes += 200;
+  }
+
+  meter.AddPowHashes(miner.hash_attempts());
+  // Broadcast each mined block to the other 5 nodes; they verify by
+  // hashing it once.
+  meter.AddTx(block_bytes * (kNodes - 1));
+  meter.AddRx(block_bytes * (kNodes - 1));
+  meter.AddHash(block_bytes * (kNodes - 1));
+  const std::size_t confirmed = miner.ConfirmedTxCount();
+  return confirmed == 0 ? 0.0 : meter.total_mj() / confirmed;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: energy per committed transaction (%d txs, %d nodes)\n",
+              kTxLoad, kNodes);
+  const double veg = VegvisirMillijoulesPerTx();
+  std::printf("%-28s | %14s | %12s\n", "system", "mJ / tx", "vs Vegvisir");
+  std::printf("%-28s | %14.3f | %12s\n", "Vegvisir (gossip + Ed25519)", veg,
+              "1.0x");
+
+  // Measured PoW rows: mine for real at feasible difficulties.
+  double mj_at_20 = 0;
+  for (const std::uint32_t bits : {12u, 16u, 20u}) {
+    const double pow_mj = PowMillijoulesPerTx(bits);
+    if (bits == 20) mj_at_20 = pow_mj;
+    std::printf("%-28s | %14.3f | %11.2fx\n",
+                ("PoW 2^" + std::to_string(bits) + " (measured)").c_str(),
+                pow_mj, pow_mj / veg);
+  }
+  // Extrapolated rows: expected attempts double per difficulty bit
+  // (the mining energy term dominates everything else by 2^20).
+  for (const std::uint32_t bits : {24u, 32u, 48u}) {
+    const double pow_mj = mj_at_20 * static_cast<double>(1ull << (bits - 20));
+    std::printf("%-28s | %14.3e | %11.1ex\n",
+                ("PoW 2^" + std::to_string(bits) + " (extrapolated)").c_str(),
+                pow_mj, pow_mj / veg);
+  }
+
+  // Sensitivity ablation: the conclusion must not hinge on the model
+  // constants. Crossover difficulty ~= log2(veg_mJ / pow_mJ_per_bit);
+  // scaling any constant 10x moves it ~3.3 bits.
+  std::printf("\nsensitivity: crossover difficulty under scaled constants\n");
+  std::printf("%-34s | %18s\n", "constants", "crossover (bits)");
+  const double pow_per_hash_mj = mj_at_20 / static_cast<double>(1u << 20);
+  struct Case {
+    const char* label;
+    double veg_scale;  // scale radio+crypto costs
+    double pow_scale;  // scale per-hash cost
+  };
+  for (const Case& c :
+       {Case{"baseline", 1, 1}, Case{"radio+crypto x10", 10, 1},
+        Case{"radio+crypto /10", 0.1, 1}, Case{"PoW hash x10", 1, 10},
+        Case{"PoW hash /10", 1, 0.1}}) {
+    const double crossover =
+        std::log2(veg * c.veg_scale / (pow_per_hash_mj * c.pow_scale));
+    std::printf("%-34s | %18.1f\n", c.label, crossover);
+  }
+  std::printf(
+      "\nExpected shape: Vegvisir's cost (radio bytes + Ed25519, no\n"
+      "difficulty knob) is flat. PoW cost doubles per difficulty bit;\n"
+      "the crossover falls around 2^17 on these constants — and the\n"
+      "sensitivity rows show 10x errors in any constant move it by only\n"
+      "~3 bits, while any security-relevant difficulty (a deployed chain\n"
+      "must outpace its strongest attacker; Bitcoin runs ~2^78) sits 50+\n"
+      "bits past it — the paper's 'tens of TWh per year' point.\n");
+  return 0;
+}

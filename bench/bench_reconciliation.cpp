@@ -1,0 +1,142 @@
+// E1 + E10 — reconciliation bandwidth.
+//
+// Paper claim (§VI): frontier-set reconciliation is "considerably
+// more efficient than exchanging entire DAGs", and "more efficient
+// DAG reconciliation algorithms" (our hash-first mode) can do better
+// still. Two replicas share a 64-block history; the responder then
+// runs `d` blocks ahead. We measure the bytes the initiator moves to
+// catch up, for:
+//   full-dag   — naive baseline: ship everything, every time
+//   block-push — Algorithm 1 exactly as published
+//   hash-first — the future-work ablation (hashes first, bodies on
+//                demand)
+// in two divergence shapes: a linear chain (deep) and a bush of
+// concurrent branches (wide, as after a many-way partition).
+#include <cstdio>
+#include <memory>
+
+#include "baseline/full_exchange.h"
+#include "chain/genesis.h"
+#include "crypto/drbg.h"
+#include "node/node.h"
+#include "recon/session.h"
+
+using namespace vegvisir;
+
+namespace {
+
+struct Pair {
+  std::unique_ptr<node::Node> initiator;
+  std::unique_ptr<node::Node> responder;
+};
+
+crypto::KeyPair OwnerKeys() {
+  crypto::Drbg drbg(std::uint64_t{1});
+  return crypto::KeyPair::Generate(drbg);
+}
+
+// Builds a pair sharing `shared` history blocks, with the responder
+// `d` blocks ahead, shaped as a chain or a bush.
+Pair MakePair(int shared, int d, bool bush) {
+  static const crypto::KeyPair owner = OwnerKeys();
+  static const chain::Block genesis =
+      chain::GenesisBuilder("recon-bench").WithTimestamp(1).Build("owner",
+                                                                  owner);
+  node::NodeConfig cfg;
+  cfg.user_id = "owner";
+  Pair p;
+  p.initiator = std::make_unique<node::Node>(cfg, genesis, owner);
+  p.responder = std::make_unique<node::Node>(cfg, genesis, owner);
+  p.initiator->SetTime(1'000'000);
+  p.responder->SetTime(1'000'000);
+
+  for (int i = 0; i < shared; ++i) {
+    const auto h = p.responder->AddWitnessBlock();
+    (void)p.initiator->OfferBlock(*p.responder->dag().Find(*h));
+  }
+
+  if (bush) {
+    // d concurrent children of the shared head (a d-way partition's
+    // worth of frontier width).
+    const auto head = p.responder->dag().Frontier()[0];
+    const std::uint64_t base_ts =
+        p.responder->dag().TimestampOf(head) + 1;
+    for (int i = 0; i < d; ++i) {
+      chain::BlockHeader h;
+      h.user_id = "owner";
+      h.timestamp_ms = base_ts + static_cast<std::uint64_t>(i);
+      h.parents = {head};
+      const auto verdict = p.responder->OfferBlock(
+          chain::Block::Create(std::move(h), {}, owner));
+      if (verdict != chain::BlockVerdict::kValid) {
+        std::fprintf(stderr, "bush block rejected\n");
+      }
+    }
+  } else {
+    for (int i = 0; i < d; ++i) (void)p.responder->AddWitnessBlock();
+  }
+  return p;
+}
+
+struct Row {
+  std::uint64_t bytes;
+  std::uint64_t rounds;
+  std::uint64_t blocks;
+};
+
+Row RunFrontier(recon::ReconConfig::Mode mode, int shared, int d, bool bush) {
+  Pair p = MakePair(shared, d, bush);
+  recon::ReconConfig cfg;
+  cfg.mode = mode;
+  recon::SessionStats stats;
+  recon::RunLocalSession(p.initiator.get(), p.responder.get(), cfg, &stats);
+  return Row{stats.bytes_received + stats.bytes_sent, stats.rounds,
+             stats.blocks_received};
+}
+
+Row RunFull(int shared, int d, bool bush) {
+  Pair p = MakePair(shared, d, bush);
+  const auto stats =
+      baseline::RunFullDagExchange(p.initiator.get(), p.responder.get());
+  return Row{stats.bytes_received + stats.bytes_sent, stats.rounds,
+             stats.blocks_received};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kShared = 64;
+  std::printf("E1/E10: reconciliation cost, shared history = %d blocks\n",
+              kShared);
+  std::printf("%-6s %-6s | %12s | %12s %7s | %12s %7s | %12s %7s\n", "shape",
+              "d", "full-dag B", "block-push B", "rounds", "hash-first B",
+              "rounds", "bloom B", "rounds");
+  for (const bool bush : {false, true}) {
+    for (const int d : {1, 2, 4, 8, 16, 32, 64}) {
+      const Row full = RunFull(kShared, d, bush);
+      const Row paper =
+          RunFrontier(recon::ReconConfig::Mode::kBlockPush, kShared, d, bush);
+      const Row hashed =
+          RunFrontier(recon::ReconConfig::Mode::kHashFirst, kShared, d, bush);
+      const Row bloom =
+          RunFrontier(recon::ReconConfig::Mode::kBloom, kShared, d, bush);
+      std::printf(
+          "%-6s %-6d | %12llu | %12llu %7llu | %12llu %7llu | %12llu %7llu\n",
+          bush ? "bush" : "chain", d,
+          static_cast<unsigned long long>(full.bytes),
+          static_cast<unsigned long long>(paper.bytes),
+          static_cast<unsigned long long>(paper.rounds),
+          static_cast<unsigned long long>(hashed.bytes),
+          static_cast<unsigned long long>(hashed.rounds),
+          static_cast<unsigned long long>(bloom.bytes),
+          static_cast<unsigned long long>(bloom.rounds));
+    }
+  }
+  std::printf(
+      "\nExpected shape: full-dag cost is flat in d (always ~shared+d\n"
+      "blocks); frontier protocols scale with d. Hash-first beats\n"
+      "block-push on deep chains (level escalation re-ships bodies);\n"
+      "bloom closes any gap shape in one round for a filter-sized\n"
+      "overhead (~10 bits per known block).\n");
+  return 0;
+}

@@ -1,0 +1,195 @@
+// E7 — block pipeline microbenchmarks.
+//
+// Device feasibility: how fast can an IoT-class core create, encode,
+// validate and apply blocks? (Paper §IV-E's validation checklist is
+// the hot path of every reconciliation merge.)
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "chain/block.h"
+#include "chain/genesis.h"
+#include "chain/validation.h"
+#include "crypto/drbg.h"
+#include "csm/membership.h"
+#include "csm/state_machine.h"
+
+namespace vegvisir::chain {
+namespace {
+
+crypto::KeyPair OwnerKeys() {
+  crypto::Drbg drbg(std::uint64_t{1});
+  return crypto::KeyPair::Generate(drbg);
+}
+
+Transaction MakeTx(int i) {
+  Transaction tx;
+  tx.crdt_name = "H";
+  tx.op = "add";
+  tx.args = {crdt::Value::OfStr("record-" + std::to_string(i))};
+  return tx;
+}
+
+std::vector<Transaction> MakeTxs(int n) {
+  std::vector<Transaction> txs;
+  for (int i = 0; i < n; ++i) txs.push_back(MakeTx(i));
+  return txs;
+}
+
+void BM_BlockCreateAndSign(benchmark::State& state) {
+  const crypto::KeyPair owner = OwnerKeys();
+  const Block genesis = GenesisBuilder("bench").Build("owner", owner);
+  const auto txs = MakeTxs(static_cast<int>(state.range(0)));
+  std::uint64_t ts = 1'000;
+  for (auto _ : state) {
+    BlockHeader h;
+    h.user_id = "owner";
+    h.timestamp_ms = ts++;
+    h.parents = {genesis.hash()};
+    benchmark::DoNotOptimize(Block::Create(std::move(h), txs, owner));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " txs");
+}
+BENCHMARK(BM_BlockCreateAndSign)->Arg(0)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_BlockSerializeDeserialize(benchmark::State& state) {
+  const crypto::KeyPair owner = OwnerKeys();
+  const Block genesis = GenesisBuilder("bench").Build("owner", owner);
+  BlockHeader h;
+  h.user_id = "owner";
+  h.timestamp_ms = 1'000;
+  h.parents = {genesis.hash()};
+  const Block block = Block::Create(
+      std::move(h), MakeTxs(static_cast<int>(state.range(0))), owner);
+  const Bytes raw = block.Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block::Deserialize(raw));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_BlockSerializeDeserialize)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ValidateBlock(benchmark::State& state) {
+  const crypto::KeyPair owner = OwnerKeys();
+  const Block genesis = GenesisBuilder("bench").Build("owner", owner);
+  Dag dag(genesis);
+  csm::Membership membership;
+  const auto cert =
+      Certificate::Deserialize(genesis.transactions()[0].args[0].AsBytes());
+  (void)membership.Add(*cert, genesis.hash());
+
+  BlockHeader h;
+  h.user_id = "owner";
+  h.timestamp_ms = 1'000;
+  h.parents = {genesis.hash()};
+  const Block block = Block::Create(
+      std::move(h), MakeTxs(static_cast<int>(state.range(0))), owner);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ValidateBlock(block, dag, membership, 10'000));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " txs");
+}
+BENCHMARK(BM_ValidateBlock)->Arg(0)->Arg(16)->Arg(64);
+
+void BM_DagInsert(benchmark::State& state) {
+  const crypto::KeyPair owner = OwnerKeys();
+  const Block genesis = GenesisBuilder("bench").Build("owner", owner);
+  // Pre-build a linear chain of blocks to insert.
+  std::vector<Block> blocks;
+  BlockHash parent = genesis.hash();
+  for (int i = 0; i < 4096; ++i) {
+    BlockHeader h;
+    h.user_id = "owner";
+    h.timestamp_ms = 1'000 + static_cast<std::uint64_t>(i);
+    h.parents = {parent};
+    blocks.push_back(Block::Create(std::move(h), {}, owner));
+    parent = blocks.back().hash();
+  }
+  std::size_t i = 0;
+  Dag dag(genesis);
+  for (auto _ : state) {
+    if (i == blocks.size()) {
+      state.PauseTiming();
+      dag = Dag(genesis);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(dag.Insert(blocks[i++]));
+  }
+}
+BENCHMARK(BM_DagInsert);
+
+void BM_CsmApplyBlock(benchmark::State& state) {
+  const crypto::KeyPair owner = OwnerKeys();
+  const Block genesis = GenesisBuilder("bench").Build("owner", owner);
+
+  // One create + a run of app-op blocks.
+  std::vector<Block> blocks;
+  BlockHash parent = genesis.hash();
+  std::uint64_t ts = 1'000;
+  {
+    BlockHeader h;
+    h.user_id = "owner";
+    h.timestamp_ms = ts++;
+    h.parents = {parent};
+    blocks.push_back(Block::Create(
+        std::move(h),
+        {csm::StateMachine::MakeCreateTx("H", crdt::CrdtType::kGSet,
+                                         crdt::ValueType::kStr,
+                                         csm::AclPolicy::AllowAll())},
+        owner));
+    parent = blocks.back().hash();
+  }
+  for (int i = 0; i < 2048; ++i) {
+    BlockHeader h;
+    h.user_id = "owner";
+    h.timestamp_ms = ts++;
+    h.parents = {parent};
+    blocks.push_back(Block::Create(std::move(h), {MakeTx(i)}, owner));
+    parent = blocks.back().hash();
+  }
+
+  std::size_t i = 0;
+  auto sm = std::make_unique<csm::StateMachine>();
+  sm->ApplyBlock(genesis);
+  for (auto _ : state) {
+    if (i == blocks.size()) {
+      state.PauseTiming();
+      sm = std::make_unique<csm::StateMachine>();
+      sm->ApplyBlock(genesis);
+      i = 0;
+      state.ResumeTiming();
+    }
+    sm->ApplyBlock(blocks[i++]);
+  }
+}
+BENCHMARK(BM_CsmApplyBlock);
+
+void BM_FrontierLevelQuery(benchmark::State& state) {
+  const crypto::KeyPair owner = OwnerKeys();
+  const Block genesis = GenesisBuilder("bench").Build("owner", owner);
+  Dag dag(genesis);
+  BlockHash parent = genesis.hash();
+  for (int i = 0; i < 1000; ++i) {
+    BlockHeader h;
+    h.user_id = "owner";
+    h.timestamp_ms = 1'000 + static_cast<std::uint64_t>(i);
+    h.parents = {parent};
+    Block b = Block::Create(std::move(h), {}, owner);
+    parent = b.hash();
+    (void)dag.Insert(std::move(b));
+  }
+  const int level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag.FrontierLevel(level));
+  }
+  state.SetLabel("level " + std::to_string(level));
+}
+BENCHMARK(BM_FrontierLevelQuery)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace vegvisir::chain
+
+BENCHMARK_MAIN();

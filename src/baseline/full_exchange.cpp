@@ -1,0 +1,31 @@
+#include "baseline/full_exchange.h"
+
+namespace vegvisir::baseline {
+
+recon::SessionStats RunFullDagExchange(recon::ReconHost* initiator,
+                                       const recon::ReconHost* responder) {
+  recon::SessionStats stats;
+  stats.rounds = 1;
+
+  // A minimal "send everything" request...
+  stats.bytes_sent = 16;
+
+  // ...answered with every stored block, in topological order so the
+  // receiver can insert as it reads.
+  const chain::Dag& remote = responder->dag();
+  for (const chain::BlockHash& h : remote.TopologicalOrder()) {
+    if (h == remote.genesis_hash()) continue;
+    const chain::Block* block = remote.Find(h);
+    if (block == nullptr) continue;  // evicted on the responder
+    const Bytes raw = block->Serialize();
+    stats.bytes_received += raw.size();
+    stats.blocks_received += 1;
+    if (initiator->dag().Contains(h)) continue;
+    if (initiator->OfferBlock(*block) == chain::BlockVerdict::kValid) {
+      stats.blocks_inserted += 1;
+    }
+  }
+  return stats;
+}
+
+}  // namespace vegvisir::baseline

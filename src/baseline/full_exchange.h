@@ -1,0 +1,19 @@
+// Naive full-DAG-exchange reconciliation baseline.
+//
+// The paper motivates frontier-set reconciliation as "considerably
+// more efficient than exchanging entire DAGs" (§VI). This baseline is
+// that strawman: the responder ships its whole stored DAG; the
+// initiator merges. Experiment E1 compares its bandwidth against
+// Algorithm 1 and the hash-first ablation.
+#pragma once
+
+#include "recon/session.h"
+
+namespace vegvisir::baseline {
+
+// One-way pull, mirroring the frontier protocol's direction. Returns
+// the initiator-side stats (bytes_received counts the full transfer).
+recon::SessionStats RunFullDagExchange(recon::ReconHost* initiator,
+                                       const recon::ReconHost* responder);
+
+}  // namespace vegvisir::baseline

@@ -1,0 +1,167 @@
+#include "baseline/pow_chain.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha256.h"
+#include "serial/codec.h"
+
+namespace vegvisir::baseline {
+namespace {
+
+// The all-zero hash is the genesis sentinel every replica starts from.
+bool IsGenesis(const chain::BlockHash& h) {
+  for (std::uint8_t b : h) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t PowBlock::EncodedSize() const {
+  std::size_t size = 8 + 32 + 8 + 8 + 32;  // header + hash
+  for (const Bytes& tx : txs) size += tx.size() + 2;
+  return size;
+}
+
+PowNode::PowNode(PowParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+void PowNode::SubmitTx(Bytes tx) {
+  if (mempool_index_.insert(tx).second) mempool_.push_back(std::move(tx));
+}
+
+bool PowNode::MeetsDifficulty(const chain::BlockHash& h) const {
+  std::uint32_t zeros = 0;
+  for (std::uint8_t byte : h) {
+    if (byte == 0) {
+      zeros += 8;
+      continue;
+    }
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) return zeros >= params_.difficulty_bits;
+      ++zeros;
+    }
+  }
+  return true;
+}
+
+chain::BlockHash PowNode::HashCandidate(const PowBlock& b) const {
+  serial::Writer w;
+  w.WriteU64(b.height);
+  w.WriteFixed(b.prev);
+  w.WriteU64(b.timestamp_ms);
+  w.WriteU64(b.nonce);
+  w.WriteVarint(b.txs.size());
+  for (const Bytes& tx : b.txs) w.WriteBytes(tx);
+  const crypto::Sha256Digest d = crypto::Sha256::Hash(w.buffer());
+  chain::BlockHash out;
+  std::memcpy(out.data(), d.data(), out.size());
+  return out;
+}
+
+bool PowNode::Mine(std::uint64_t max_attempts, std::uint64_t timestamp_ms) {
+  PowBlock candidate;
+  candidate.height = tip_height_ + 1;
+  candidate.prev = tip_;
+  candidate.timestamp_ms = timestamp_ms;
+  const std::size_t take =
+      std::min(params_.max_txs_per_block, mempool_.size());
+  candidate.txs.assign(mempool_.begin(),
+                       mempool_.begin() + static_cast<std::ptrdiff_t>(take));
+  candidate.nonce = rng_.NextU64();
+
+  for (std::uint64_t i = 0; i < max_attempts; ++i) {
+    ++hash_attempts_;
+    candidate.hash = HashCandidate(candidate);
+    if (MeetsDifficulty(candidate.hash)) {
+      for (const Bytes& tx : candidate.txs) {
+        mempool_index_.erase(tx);
+      }
+      mempool_.erase(mempool_.begin(),
+                     mempool_.begin() + static_cast<std::ptrdiff_t>(take));
+      tip_ = candidate.hash;
+      tip_height_ = candidate.height;
+      blocks_.emplace(candidate.hash, std::move(candidate));
+      ++blocks_mined_;
+      return true;
+    }
+    ++candidate.nonce;
+  }
+  return false;
+}
+
+std::vector<chain::BlockHash> PowNode::MainChain() const {
+  std::vector<chain::BlockHash> out;
+  chain::BlockHash h = tip_;
+  while (!IsGenesis(h)) {
+    out.push_back(h);
+    h = blocks_.at(h).prev;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PowNode::ConfirmedTxCount() const {
+  std::size_t n = 0;
+  for (const chain::BlockHash& h : MainChain()) n += blocks_.at(h).txs.size();
+  return n;
+}
+
+bool PowNode::IsConfirmed(const Bytes& tx) const {
+  for (const chain::BlockHash& h : MainChain()) {
+    const PowBlock& b = blocks_.at(h);
+    if (std::find(b.txs.begin(), b.txs.end(), tx) != b.txs.end()) return true;
+  }
+  return false;
+}
+
+PowNode::SyncResult PowNode::SyncFrom(const PowNode& peer) {
+  SyncResult result;
+  if (peer.tip_height_ <= tip_height_) return result;  // we are longest
+
+  const std::vector<chain::BlockHash> ours = MainChain();
+  const std::vector<chain::BlockHash> theirs = peer.MainChain();
+
+  // Fork point: longest common prefix.
+  std::size_t fork = 0;
+  while (fork < ours.size() && fork < theirs.size() &&
+         ours[fork] == theirs[fork]) {
+    ++fork;
+  }
+
+  // Transfer the peer's blocks past the fork point.
+  for (std::size_t i = fork; i < theirs.size(); ++i) {
+    const PowBlock& b = peer.blocks_.at(theirs[i]);
+    result.bytes_transferred += b.EncodedSize();
+    if (blocks_.emplace(b.hash, b).second) result.new_blocks += 1;
+    // Their confirmed txs leave our mempool.
+    for (const Bytes& tx : b.txs) {
+      if (mempool_index_.erase(tx) > 0) {
+        mempool_.erase(std::find(mempool_.begin(), mempool_.end(), tx));
+      }
+    }
+  }
+
+  // Our blocks past the fork point are discarded: their transactions
+  // lose confirmed status and fall back into the mempool (unless the
+  // peer's chain also confirmed them).
+  for (std::size_t i = fork; i < ours.size(); ++i) {
+    const PowBlock& b = blocks_.at(ours[i]);
+    result.discarded_blocks += 1;
+    for (const Bytes& tx : b.txs) {
+      if (!peer.IsConfirmed(tx)) {
+        result.discarded_txs += 1;
+        SubmitTx(tx);
+      }
+    }
+  }
+
+  tip_ = peer.tip_;
+  tip_height_ = peer.tip_height_;
+  result.adopted = true;
+  return result;
+}
+
+}  // namespace vegvisir::baseline

@@ -1,0 +1,99 @@
+// Nakamoto-style proof-of-work linear blockchain baseline.
+//
+// The paper's argument against deploying Bitcoin-like chains in IoT
+// settings is twofold (§I): they burn energy on cryptopuzzles, and
+// under partitions they fork — when partitions heal, the longest
+// chain wins and every block on the losing branches is *discarded*,
+// undoing transactions users believed confirmed. This baseline
+// implements exactly that protocol (real SHA-256 puzzles at a
+// configurable difficulty, longest-chain fork choice with reorgs) so
+// experiments E3 and E4 can measure both effects against Vegvisir.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/types.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace vegvisir::baseline {
+
+struct PowParams {
+  // Required number of leading zero bits in the block hash. Each
+  // additional bit doubles the expected mining work.
+  std::uint32_t difficulty_bits = 16;
+  std::size_t max_txs_per_block = 16;
+};
+
+struct PowBlock {
+  std::uint64_t height = 0;
+  chain::BlockHash prev{};
+  std::uint64_t timestamp_ms = 0;
+  std::uint64_t nonce = 0;
+  std::vector<Bytes> txs;
+  chain::BlockHash hash{};
+
+  std::size_t EncodedSize() const;
+};
+
+// One miner / replica of the PoW chain.
+class PowNode {
+ public:
+  PowNode(PowParams params, std::uint64_t seed);
+
+  // Adds a transaction to the mempool (deduplicated by content).
+  void SubmitTx(Bytes tx);
+
+  // Tries up to `max_attempts` nonces on a candidate extending the
+  // current tip. Returns true if a block was found. All attempts are
+  // counted (the energy cost of proof-of-work).
+  bool Mine(std::uint64_t max_attempts, std::uint64_t timestamp_ms);
+
+  std::uint64_t hash_attempts() const { return hash_attempts_; }
+  std::uint64_t blocks_mined() const { return blocks_mined_; }
+
+  std::uint64_t height() const { return tip_height_; }
+  const chain::BlockHash& tip() const { return tip_; }
+  std::size_t mempool_size() const { return mempool_.size(); }
+
+  // Hashes of the main chain, genesis first.
+  std::vector<chain::BlockHash> MainChain() const;
+
+  // Transactions confirmed on the current main chain.
+  std::size_t ConfirmedTxCount() const;
+  bool IsConfirmed(const Bytes& tx) const;
+
+  struct SyncResult {
+    bool adopted = false;          // we switched to the peer's chain
+    std::size_t new_blocks = 0;    // blocks transferred from the peer
+    std::size_t discarded_blocks = 0;  // our abandoned-fork blocks
+    std::size_t discarded_txs = 0;     // confirmed txs that lost status
+    std::uint64_t bytes_transferred = 0;
+  };
+
+  // Longest-chain rule: adopt the peer's chain if strictly higher.
+  // Discarded transactions return to the mempool (to be re-mined,
+  // maybe) — exactly the disruption the paper warns about.
+  SyncResult SyncFrom(const PowNode& peer);
+
+ private:
+  bool MeetsDifficulty(const chain::BlockHash& h) const;
+  chain::BlockHash HashCandidate(const PowBlock& b) const;
+
+  PowParams params_;
+  Rng rng_;
+  std::unordered_map<chain::BlockHash, PowBlock, chain::BlockHashHasher>
+      blocks_;
+  chain::BlockHash tip_{};  // all-zero = genesis sentinel
+  std::uint64_t tip_height_ = 0;
+  std::deque<Bytes> mempool_;
+  std::set<Bytes> mempool_index_;
+  std::uint64_t hash_attempts_ = 0;
+  std::uint64_t blocks_mined_ = 0;
+};
+
+}  // namespace vegvisir::baseline

@@ -1,0 +1,89 @@
+#include "baseline/tangle.h"
+
+#include <cmath>
+
+namespace vegvisir::baseline {
+
+Tangle::Tangle(TangleParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  // The genesis transaction.
+  txs_.push_back(Tx{Bytes{}, {}, {}});
+  tips_.insert(0);
+}
+
+Tangle::TxId Tangle::SelectTip() {
+  if (!params_.weighted_walk) {
+    const std::vector<TxId> tips(tips_.begin(), tips_.end());
+    return tips[rng_.NextBelow(tips.size())];
+  }
+  return WeightedWalkFrom(0);
+}
+
+Tangle::TxId Tangle::WeightedWalkFrom(TxId start) {
+  // Random walk from the genesis toward the tips, biased toward
+  // approvers with larger cumulative weight (simplified MCMC).
+  TxId cur = start;
+  while (!txs_[cur].approvers.empty()) {
+    const std::vector<TxId>& next = txs_[cur].approvers;
+    std::vector<double> weights;
+    weights.reserve(next.size());
+    double total = 0;
+    for (TxId n : next) {
+      const double w =
+          std::exp(params_.alpha * static_cast<double>(CumulativeWeight(n)));
+      weights.push_back(w);
+      total += w;
+    }
+    double pick = rng_.NextDouble() * total;
+    std::size_t chosen = 0;
+    for (; chosen + 1 < weights.size(); ++chosen) {
+      if (pick < weights[chosen]) break;
+      pick -= weights[chosen];
+    }
+    cur = next[chosen];
+  }
+  return cur;
+}
+
+Tangle::TxId Tangle::AddTransaction(Bytes payload) {
+  const TxId a = SelectTip();
+  TxId b = SelectTip();
+  // IOTA allows approving the same tip twice; prefer two distinct
+  // tips when available.
+  if (b == a && tips_.size() > 1) {
+    for (int retry = 0; retry < 8 && b == a; ++retry) b = SelectTip();
+  }
+  return AddTransactionApproving(a, b, std::move(payload));
+}
+
+Tangle::TxId Tangle::AddTransactionApproving(TxId a, TxId b, Bytes payload) {
+  const TxId id = txs_.size();
+  Tx tx;
+  tx.payload = std::move(payload);
+  tx.approves.push_back(a);
+  if (b != a) tx.approves.push_back(b);
+  txs_.push_back(std::move(tx));
+  for (TxId parent : txs_[id].approves) {
+    txs_[parent].approvers.push_back(id);
+    tips_.erase(parent);
+  }
+  tips_.insert(id);
+  return id;
+}
+
+std::size_t Tangle::CumulativeWeight(TxId id) const {
+  // BFS over approvers.
+  std::set<TxId> seen;
+  std::vector<TxId> stack = {id};
+  seen.insert(id);
+  while (!stack.empty()) {
+    const TxId cur = stack.back();
+    stack.pop_back();
+    for (TxId child : txs_[cur].approvers) {
+      if (seen.insert(child).second) stack.push_back(child);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace vegvisir::baseline

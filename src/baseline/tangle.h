@@ -1,0 +1,74 @@
+// IOTA-style tangle baseline (paper §III, [20]).
+//
+// A DAG cryptocurrency ledger where each transaction approves two
+// earlier transactions chosen by tip selection. Unlike Vegvisir the
+// tangle's DAG exists to parallelize throughput, not to tolerate
+// partitions, and confirmation relies on accumulating descendant
+// weight. Used by experiment E11 to contrast DAG shapes and by the
+// related-work comparison in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace vegvisir::baseline {
+
+struct TangleParams {
+  // Tip selection: uniform random, or a weight-biased random walk
+  // (a simplified MCMC as in the IOTA whitepaper).
+  bool weighted_walk = false;
+  double alpha = 0.05;  // walk bias toward heavier children
+};
+
+class Tangle {
+ public:
+  using TxId = std::size_t;
+
+  Tangle(TangleParams params, std::uint64_t seed);
+
+  // Attaches a transaction approving two tips. Returns its id.
+  TxId AddTransaction(Bytes payload);
+
+  // Runs tip selection without attaching (for callers modelling
+  // concurrent arrivals: select against a common snapshot first,
+  // attach afterwards).
+  TxId SelectTip();
+
+  // Attaches a transaction approving the two given existing
+  // transactions (a == b approves a single parent).
+  TxId AddTransactionApproving(TxId a, TxId b, Bytes payload);
+
+  std::size_t Size() const { return txs_.size(); }
+  std::size_t TipCount() const { return tips_.size(); }
+  std::vector<TxId> Tips() const {
+    return std::vector<TxId>(tips_.begin(), tips_.end());
+  }
+
+  // Number of transactions that directly or indirectly approve `id`
+  // (plus itself) — IOTA's confirmation metric.
+  std::size_t CumulativeWeight(TxId id) const;
+
+  const std::vector<TxId>& ApprovedBy(TxId id) const {
+    return txs_[id].approves;
+  }
+
+ private:
+  struct Tx {
+    Bytes payload;
+    std::vector<TxId> approves;   // up to 2 parents
+    std::vector<TxId> approvers;  // children
+  };
+
+  TxId WeightedWalkFrom(TxId start);
+
+  TangleParams params_;
+  Rng rng_;
+  std::vector<Tx> txs_;
+  std::set<TxId> tips_;
+};
+
+}  // namespace vegvisir::baseline

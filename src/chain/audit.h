@@ -1,0 +1,56 @@
+// Post-hoc chain auditing.
+//
+// The disaster-response use case (paper §II-A) ends with "once the
+// state of emergency is over, the log is reviewed". This module is
+// that review: it re-validates an entire replica from first
+// principles — every hash, every signature, every timestamp edge —
+// and extracts per-CRDT transaction trails with their authenticated
+// provenance (who, when, where). It trusts nothing the node computed
+// earlier, so it also serves as the integrity check after loading a
+// replica from disk (chain/store.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/dag.h"
+#include "chain/validation.h"
+
+namespace vegvisir::chain {
+
+struct AuditIssue {
+  BlockHash block{};
+  std::string what;
+};
+
+struct AuditReport {
+  std::size_t blocks_checked = 0;
+  std::size_t signatures_verified = 0;
+  std::size_t bodies_missing = 0;  // evicted stubs: hash-verified only
+  std::vector<AuditIssue> issues;
+
+  bool clean() const { return issues.empty(); }
+};
+
+// Re-validates the whole DAG: recomputed hashes, creator signatures
+// against the membership's certificates, strictly-increasing
+// timestamps along every edge, and certificate validity against the
+// chain CA. Evicted stubs cannot have their bodies checked and are
+// counted in `bodies_missing`.
+AuditReport AuditDag(const Dag& dag, const MembershipView& membership);
+
+// One authenticated log entry for the review trail.
+struct ProvenanceEntry {
+  BlockHash block{};
+  std::string creator;
+  std::uint64_t timestamp_ms = 0;
+  std::optional<GeoLocation> location;
+  Transaction transaction;
+};
+
+// Every transaction on `crdt_name`, in topological (causal) order,
+// with its authenticated provenance. Empty name matches all CRDTs.
+std::vector<ProvenanceEntry> ExtractProvenance(const Dag& dag,
+                                               const std::string& crdt_name);
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,66 @@
+#include "chain/certificate.h"
+
+namespace vegvisir::chain {
+
+Bytes Certificate::SignedPayload() const {
+  serial::Writer w;
+  w.WriteString("vegvisir-cert-v1");
+  w.WriteString(user_id);
+  w.WriteFixed(public_key.bytes);
+  w.WriteString(role);
+  return w.Take();
+}
+
+void Certificate::Encode(serial::Writer* w) const {
+  w->WriteString(user_id);
+  w->WriteFixed(public_key.bytes);
+  w->WriteString(role);
+  w->WriteFixed(ca_signature.bytes);
+}
+
+Status Certificate::Decode(serial::Reader* r, Certificate* out) {
+  VEGVISIR_RETURN_IF_ERROR(r->ReadString(&out->user_id));
+  VEGVISIR_RETURN_IF_ERROR(r->ReadFixed(&out->public_key.bytes));
+  VEGVISIR_RETURN_IF_ERROR(r->ReadString(&out->role));
+  VEGVISIR_RETURN_IF_ERROR(r->ReadFixed(&out->ca_signature.bytes));
+  return Status::Ok();
+}
+
+Bytes Certificate::Serialize() const {
+  serial::Writer w;
+  Encode(&w);
+  return w.Take();
+}
+
+StatusOr<Certificate> Certificate::Deserialize(ByteSpan data) {
+  serial::Reader r(data);
+  Certificate cert;
+  VEGVISIR_RETURN_IF_ERROR(Decode(&r, &cert));
+  VEGVISIR_RETURN_IF_ERROR(r.ExpectEnd());
+  return cert;
+}
+
+bool Certificate::operator==(const Certificate& other) const {
+  return user_id == other.user_id && public_key == other.public_key &&
+         role == other.role && ca_signature == other.ca_signature;
+}
+
+Certificate IssueCertificate(const std::string& user_id,
+                             const crypto::PublicKey& public_key,
+                             const std::string& role,
+                             const crypto::KeyPair& ca) {
+  Certificate cert;
+  cert.user_id = user_id;
+  cert.public_key = public_key;
+  cert.role = role;
+  cert.ca_signature = ca.Sign(cert.SignedPayload());
+  return cert;
+}
+
+bool VerifyCertificate(const Certificate& cert,
+                       const crypto::PublicKey& ca_public_key) {
+  return crypto::Verify(ca_public_key, cert.SignedPayload(),
+                        cert.ca_signature);
+}
+
+}  // namespace vegvisir::chain

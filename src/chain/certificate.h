@@ -1,0 +1,48 @@
+// Public key certificates (paper §IV-F).
+//
+// A certificate binds a user id to an Ed25519 public key and a role,
+// under the signature of the chain's certificate authority (the owner
+// who signed the genesis block). The membership set U holds these
+// certificates; elements of U's remove set act as revocations.
+#pragma once
+
+#include <string>
+
+#include "crypto/ed25519.h"
+#include "serial/codec.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace vegvisir::chain {
+
+struct Certificate {
+  std::string user_id;
+  crypto::PublicKey public_key{};
+  std::string role;
+  crypto::Signature ca_signature{};
+
+  // The bytes the CA signs: canonical (user_id, public_key, role).
+  Bytes SignedPayload() const;
+
+  void Encode(serial::Writer* w) const;
+  static Status Decode(serial::Reader* r, Certificate* out);
+
+  // Standalone canonical serialization (the form stored in U).
+  Bytes Serialize() const;
+  static StatusOr<Certificate> Deserialize(ByteSpan data);
+
+  bool operator==(const Certificate& other) const;
+};
+
+// Issues a certificate signed by `ca`. For the owner's own
+// certificate, `ca` is the owner key pair (self-signed, paper §IV-C).
+Certificate IssueCertificate(const std::string& user_id,
+                             const crypto::PublicKey& public_key,
+                             const std::string& role,
+                             const crypto::KeyPair& ca);
+
+// Checks the CA signature.
+bool VerifyCertificate(const Certificate& cert,
+                       const crypto::PublicKey& ca_public_key);
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,38 @@
+// Graphviz export and transaction-id utilities.
+//
+// `DagToDot` renders the replica for debugging and documentation
+// (paper Fig. 1 is exactly such a drawing). Transaction ids — the
+// "<block-hash-hex>:<index>" strings the CSM hands to CRDTs — can be
+// parsed back to block hashes, which makes causal queries over
+// transactions possible: HappensBefore answers whether one
+// transaction is in another's causal past.
+#pragma once
+
+#include <string>
+
+#include "chain/dag.h"
+
+namespace vegvisir::chain {
+
+struct DotOptions {
+  bool show_creator = true;
+  bool show_timestamp = false;
+  bool mark_frontier = true;   // frontier blocks drawn doubled
+  bool mark_evicted = true;    // evicted stubs drawn dashed
+};
+
+// GraphViz `digraph` text; edges point from child to parent (blocks
+// reference their parents, as in the paper's figures).
+std::string DagToDot(const Dag& dag, const DotOptions& options = {});
+
+// Parses "<64-hex>:<index>" into the containing block's hash.
+// Returns false on malformed input.
+bool ParseTxId(const std::string& tx_id, BlockHash* block, std::size_t* index);
+
+// True iff transaction `a` is in the causal past of transaction `b`
+// (strictly: same block counts as ordered by index). False when
+// either id is malformed or unknown, or when they are concurrent.
+bool HappensBefore(const Dag& dag, const std::string& tx_a,
+                   const std::string& tx_b);
+
+}  // namespace vegvisir::chain

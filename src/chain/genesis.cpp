@@ -1,0 +1,32 @@
+#include "chain/genesis.h"
+
+#include "chain/types.h"
+
+namespace vegvisir::chain {
+
+Block GenesisBuilder::Build(const std::string& owner_user_id,
+                            const crypto::KeyPair& owner_keys) const {
+  const Certificate owner_cert = IssueCertificate(
+      owner_user_id, owner_keys.public_key(), kOwnerRole, owner_keys);
+
+  Transaction enrol;
+  enrol.crdt_name = kUsersCrdtName;
+  enrol.op = "add";
+  enrol.args = {crdt::Value::OfBytes(owner_cert.Serialize())};
+
+  Transaction meta;
+  meta.crdt_name = kMetaCrdtName;
+  meta.op = "put";
+  meta.args = {crdt::Value::OfStr("name"), crdt::Value::OfStr(chain_name_)};
+
+  BlockHeader header;
+  header.user_id = owner_user_id;
+  header.timestamp_ms = timestamp_ms_;
+  header.location = location_;
+  // No parents: the genesis is the DAG's unique sink.
+
+  return Block::Create(std::move(header), {std::move(enrol), std::move(meta)},
+                       owner_keys);
+}
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,47 @@
+// Genesis block construction (paper §IV-C).
+//
+// The genesis block is the unique sink of the DAG and identifies the
+// chain. It carries the owner's self-signed certificate — the owner
+// acts as the chain's certificate authority — plus chain metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chain/block.h"
+#include "chain/certificate.h"
+#include "crypto/ed25519.h"
+
+namespace vegvisir::chain {
+
+// The role the owner's genesis certificate carries; the default
+// revocation policy keys off it.
+inline constexpr const char* kOwnerRole = "owner";
+
+class GenesisBuilder {
+ public:
+  explicit GenesisBuilder(std::string chain_name)
+      : chain_name_(std::move(chain_name)) {}
+
+  GenesisBuilder& WithTimestamp(std::uint64_t timestamp_ms) {
+    timestamp_ms_ = timestamp_ms;
+    return *this;
+  }
+  GenesisBuilder& WithLocation(GeoLocation location) {
+    location_ = location;
+    return *this;
+  }
+
+  // Builds the genesis block: a block with no parents whose
+  // transactions enrol the owner (self-signed certificate into U) and
+  // record the chain name in __meta__.
+  Block Build(const std::string& owner_user_id,
+              const crypto::KeyPair& owner_keys) const;
+
+ private:
+  std::string chain_name_;
+  std::uint64_t timestamp_ms_ = 1;
+  std::optional<GeoLocation> location_;
+};
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,222 @@
+#include "chain/proof.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "serial/codec.h"
+
+namespace vegvisir::chain {
+
+Bytes WitnessProof::Serialize() const {
+  serial::Writer w;
+  w.WriteString("vegvisir-witness-proof-v1");
+  w.WriteFixed(target);
+  w.WriteVarint(paths.size());
+  for (const auto& path : paths) {
+    w.WriteVarint(path.size());
+    for (const Bytes& raw : path) w.WriteBytes(raw);
+  }
+  w.WriteVarint(certificates.size());
+  for (const Certificate& cert : certificates) cert.Encode(&w);
+  return w.Take();
+}
+
+StatusOr<WitnessProof> WitnessProof::Deserialize(ByteSpan data) {
+  serial::Reader r(data);
+  std::string magic;
+  VEGVISIR_RETURN_IF_ERROR(r.ReadString(&magic));
+  if (magic != "vegvisir-witness-proof-v1") {
+    return InvalidArgumentError("bad proof magic");
+  }
+  WitnessProof proof;
+  VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&proof.target));
+  std::uint64_t path_count;
+  VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&path_count));
+  if (path_count > r.remaining()) {
+    return InvalidArgumentError("path count exceeds input");
+  }
+  for (std::uint64_t i = 0; i < path_count; ++i) {
+    std::uint64_t block_count;
+    VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&block_count));
+    if (block_count > r.remaining()) {
+      return InvalidArgumentError("block count exceeds input");
+    }
+    std::vector<Bytes> path;
+    for (std::uint64_t b = 0; b < block_count; ++b) {
+      Bytes raw;
+      VEGVISIR_RETURN_IF_ERROR(r.ReadBytes(&raw));
+      path.push_back(std::move(raw));
+    }
+    proof.paths.push_back(std::move(path));
+  }
+  std::uint64_t cert_count;
+  VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&cert_count));
+  if (cert_count > r.remaining()) {
+    return InvalidArgumentError("cert count exceeds input");
+  }
+  for (std::uint64_t i = 0; i < cert_count; ++i) {
+    Certificate cert;
+    VEGVISIR_RETURN_IF_ERROR(Certificate::Decode(&r, &cert));
+    proof.certificates.push_back(std::move(cert));
+  }
+  VEGVISIR_RETURN_IF_ERROR(r.ExpectEnd());
+  return proof;
+}
+
+namespace {
+
+// Shortest parent-link path from `from` down to `target`
+// (from is a descendant of target). Returns hashes from -> target.
+std::vector<BlockHash> PathDown(const Dag& dag, const BlockHash& from,
+                                const BlockHash& target) {
+  std::map<BlockHash, BlockHash> came_from;
+  std::queue<BlockHash> queue;
+  queue.push(from);
+  came_from[from] = from;
+  while (!queue.empty()) {
+    const BlockHash cur = queue.front();
+    queue.pop();
+    if (cur == target) break;
+    for (const BlockHash& p : dag.ParentsOf(cur)) {
+      if (came_from.emplace(p, cur).second) queue.push(p);
+    }
+  }
+  std::vector<BlockHash> path;
+  if (came_from.count(target) == 0) return path;  // not a descendant
+  // Walk back from target to from, then reverse.
+  BlockHash cur = target;
+  while (true) {
+    path.push_back(cur);
+    if (cur == from) break;
+    cur = came_from.at(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+StatusOr<WitnessProof> BuildWitnessProof(const Dag& dag,
+                                         const MembershipView& membership,
+                                         const BlockHash& target,
+                                         std::size_t k) {
+  if (!dag.Contains(target)) return NotFoundError("unknown target block");
+  const std::set<std::string> witnesses = dag.WitnessesOf(target);
+  if (witnesses.size() < k) {
+    return FailedPreconditionError(
+        "only " + std::to_string(witnesses.size()) + " witnesses, need " +
+        std::to_string(k));
+  }
+
+  // For each witness (sorted, deterministic), find one of their blocks
+  // among the target's descendants.
+  const std::set<BlockHash> descendants = dag.Descendants(target);
+  WitnessProof proof;
+  proof.target = target;
+  std::set<std::string> creators_needed;
+  std::size_t picked = 0;
+  for (const std::string& witness : witnesses) {
+    if (picked == k) break;
+    const BlockHash* chosen = nullptr;
+    for (const BlockHash& d : descendants) {
+      if (dag.CreatorOf(d) == witness) {
+        chosen = &d;
+        break;
+      }
+    }
+    if (chosen == nullptr) continue;  // cannot happen
+    const std::vector<BlockHash> path = PathDown(dag, *chosen, target);
+    std::vector<Bytes> raw_path;
+    for (const BlockHash& h : path) {
+      const Block* block = dag.Find(h);
+      if (block == nullptr) {
+        return NotFoundError("block body evicted; refetch before proving");
+      }
+      raw_path.push_back(block->Serialize());
+      creators_needed.insert(block->header().user_id);
+    }
+    proof.paths.push_back(std::move(raw_path));
+    ++picked;
+  }
+  if (picked < k) {
+    return FailedPreconditionError("could not assemble k witness paths");
+  }
+
+  for (const std::string& creator : creators_needed) {
+    const Certificate* cert = membership.FindCertificate(creator);
+    if (cert == nullptr) {
+      return NotFoundError("no certificate for creator " + creator);
+    }
+    proof.certificates.push_back(*cert);
+  }
+  return proof;
+}
+
+Status VerifyWitnessProof(const WitnessProof& proof,
+                          const crypto::PublicKey& ca_public_key,
+                          std::size_t k) {
+  // Certificates: trusted iff signed by the CA.
+  std::map<std::string, const Certificate*> certs;
+  for (const Certificate& cert : proof.certificates) {
+    if (!VerifyCertificate(cert, ca_public_key)) {
+      return UnauthenticatedError("certificate for '" + cert.user_id +
+                                  "' not signed by the chain CA");
+    }
+    certs[cert.user_id] = &cert;
+  }
+
+  std::string target_creator;
+  std::set<std::string> witness_heads;
+
+  for (const auto& raw_path : proof.paths) {
+    if (raw_path.empty()) return InvalidArgumentError("empty proof path");
+    std::vector<Block> path;
+    for (const Bytes& raw : raw_path) {
+      auto block = Block::Deserialize(raw);
+      if (!block.ok()) return block.status();
+      path.push_back(*std::move(block));
+    }
+    // The path must end at the target.
+    if (!(path.back().hash() == proof.target)) {
+      return FailedPreconditionError("path does not end at the target");
+    }
+    target_creator = path.back().header().user_id;
+
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const Block& block = path[i];
+      // Signature against a CA-certified key.
+      const auto cert_it = certs.find(block.header().user_id);
+      if (cert_it == certs.end()) {
+        return UnauthenticatedError("missing certificate for '" +
+                                    block.header().user_id + "'");
+      }
+      if (!block.VerifySignature(cert_it->second->public_key)) {
+        return UnauthenticatedError("bad signature in proof path");
+      }
+      // Hash link to the next block down the path.
+      if (i + 1 < path.size()) {
+        const BlockHash& next = path[i + 1].hash();
+        const auto& parents = block.header().parents;
+        if (std::find(parents.begin(), parents.end(), next) ==
+            parents.end()) {
+          return FailedPreconditionError("broken hash link in proof path");
+        }
+        if (block.header().timestamp_ms <= path[i + 1].header().timestamp_ms) {
+          return FailedPreconditionError("timestamps not increasing");
+        }
+      }
+    }
+    witness_heads.insert(path.front().header().user_id);
+  }
+
+  witness_heads.erase(target_creator);  // self-acks do not count
+  if (witness_heads.size() < k) {
+    return FailedPreconditionError(
+        "proof shows only " + std::to_string(witness_heads.size()) +
+        " distinct witnesses, need " + std::to_string(k));
+  }
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,54 @@
+// Self-contained ancestry / witness proofs.
+//
+// Paper §V: a user presents "a proof-of-witness that their request
+// has been placed on the blockchain" to an external party (a record
+// database, a TEE program). That party does not hold the DAG, so the
+// proof must be verifiable from block contents alone: it is the chain
+// of blocks from each witness block down to the target, whose parent
+// hashes link each block to the next. The verifier re-hashes every
+// block, follows the links, and checks the creators' signatures
+// against CA-signed certificates carried in the proof — trusting only
+// the chain CA's public key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/certificate.h"
+#include "chain/dag.h"
+#include "chain/validation.h"
+
+namespace vegvisir::chain {
+
+// A witness proof for one target block: for each claimed witness, a
+// descending path of blocks witness -> ... -> target, plus the
+// certificates needed to check every signature along the paths.
+struct WitnessProof {
+  BlockHash target{};
+  // Paths are stored as serialized blocks, child before parent,
+  // ending at (and including) the target block.
+  std::vector<std::vector<Bytes>> paths;
+  std::vector<Certificate> certificates;
+
+  Bytes Serialize() const;
+  static StatusOr<WitnessProof> Deserialize(ByteSpan data);
+};
+
+// Builds a proof that `target` has at least `k` distinct witnesses
+// (creators of descendant blocks other than the target's creator).
+// Fails with kFailedPrecondition if the local replica cannot show k
+// witnesses, and with kNotFound if some needed block body is evicted.
+StatusOr<WitnessProof> BuildWitnessProof(const Dag& dag,
+                                         const MembershipView& membership,
+                                         const BlockHash& target,
+                                         std::size_t k);
+
+// Verifies the proof with no access to a DAG: hash links, signatures,
+// certificate CA signatures, timestamp monotonicity along each path,
+// and that at least `k` distinct non-creator users appear as path
+// heads. Only `ca_public_key` is trusted.
+Status VerifyWitnessProof(const WitnessProof& proof,
+                          const crypto::PublicKey& ca_public_key,
+                          std::size_t k);
+
+}  // namespace vegvisir::chain

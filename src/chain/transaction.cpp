@@ -1,0 +1,37 @@
+#include "chain/transaction.h"
+
+namespace vegvisir::chain {
+
+void Transaction::Encode(serial::Writer* w) const {
+  w->WriteString(crdt_name);
+  w->WriteString(op);
+  w->WriteVarint(args.size());
+  for (const crdt::Value& v : args) v.Encode(w);
+}
+
+Status Transaction::Decode(serial::Reader* r, Transaction* out) {
+  VEGVISIR_RETURN_IF_ERROR(r->ReadString(&out->crdt_name));
+  VEGVISIR_RETURN_IF_ERROR(r->ReadString(&out->op));
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    // Each value takes at least one byte; a larger count is malformed.
+    return InvalidArgumentError("transaction argument count exceeds input");
+  }
+  out->args.clear();
+  out->args.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    crdt::Value v;
+    VEGVISIR_RETURN_IF_ERROR(crdt::Value::Decode(r, &v));
+    out->args.push_back(std::move(v));
+  }
+  return Status::Ok();
+}
+
+std::size_t Transaction::EncodedSize() const {
+  serial::Writer w;
+  Encode(&w);
+  return w.buffer().size();
+}
+
+}  // namespace vegvisir::chain

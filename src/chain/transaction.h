@@ -1,0 +1,32 @@
+// Transactions (paper §IV-D).
+//
+// A transaction names a CRDT, an operation, and the operation's
+// arguments. Transactions carry no signature of their own: the
+// enclosing block's signature covers them, and the block creator is
+// the originator of every transaction in the block.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crdt/value.h"
+#include "serial/codec.h"
+#include "util/status.h"
+
+namespace vegvisir::chain {
+
+struct Transaction {
+  std::string crdt_name;
+  std::string op;
+  std::vector<crdt::Value> args;
+
+  void Encode(serial::Writer* w) const;
+  static Status Decode(serial::Reader* r, Transaction* out);
+
+  bool operator==(const Transaction& other) const = default;
+
+  // Approximate serialized size (for storage/bandwidth accounting).
+  std::size_t EncodedSize() const;
+};
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,13 @@
+#include "chain/types.h"
+
+namespace vegvisir::chain {
+
+std::string HashHex(const BlockHash& h) {
+  return ToHex(ByteSpan(h.data(), h.size()));
+}
+
+std::string HashShort(const BlockHash& h) {
+  return HashHex(h).substr(0, 8);
+}
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,37 @@
+// Shared chain-layer identifiers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace vegvisir::chain {
+
+// SHA-256 of a block's canonical serialization; globally identifies
+// the block, and the genesis hash identifies the whole chain.
+using BlockHash = std::array<std::uint8_t, 32>;
+
+// Hasher for unordered containers keyed by BlockHash.
+struct BlockHashHasher {
+  std::size_t operator()(const BlockHash& h) const {
+    // The hash is already uniform; fold the first 8 bytes.
+    std::size_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | h[i];
+    return v;
+  }
+};
+
+// Full lowercase hex of a hash.
+std::string HashHex(const BlockHash& h);
+
+// First 8 hex chars, for logs.
+std::string HashShort(const BlockHash& h);
+
+// Reserved CRDT names managed by the state machine itself.
+inline constexpr const char* kUsersCrdtName = "__users__";  // U (2P-set)
+inline constexpr const char* kOmegaCrdtName = "__omega__";  // Ω registry
+inline constexpr const char* kMetaCrdtName = "__meta__";    // chain metadata
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,81 @@
+#include "chain/validation.h"
+
+namespace vegvisir::chain {
+namespace {
+
+ValidationResult Reject(Status s) {
+  return ValidationResult{BlockVerdict::kReject, std::move(s)};
+}
+
+ValidationResult Retry(Status s) {
+  return ValidationResult{BlockVerdict::kRetryLater, std::move(s)};
+}
+
+}  // namespace
+
+ValidationResult ValidateBlock(const Block& block, const Dag& dag,
+                               const MembershipView& membership,
+                               std::uint64_t local_time_ms,
+                               const ValidationParams& params) {
+  // A parentless block can only be a (different chain's) genesis.
+  if (block.header().parents.empty()) {
+    return Reject(FailedPreconditionError("parentless non-genesis block"));
+  }
+
+  // Check 2: parents present. Missing parents are a reconciliation
+  // gap, not an attack.
+  for (const BlockHash& p : block.header().parents) {
+    if (!dag.Contains(p)) {
+      return Retry(NotFoundError("missing parent " + HashShort(p)));
+    }
+  }
+
+  // Check 1: creator is a member. An unknown creator may simply have
+  // enrolled in a partition we have not merged yet.
+  const Certificate* cert =
+      membership.FindCertificate(block.header().user_id);
+  if (cert == nullptr) {
+    return Retry(
+        UnauthenticatedError("unknown creator " + block.header().user_id));
+  }
+
+  // Check 4: signature valid and matching the creator's certificate.
+  if (!block.VerifySignature(cert->public_key)) {
+    return Reject(UnauthenticatedError("bad signature on block"));
+  }
+
+  // Check 3: timestamp strictly after every parent...
+  const std::uint64_t min_exclusive =
+      dag.MaxParentTimestamp(block.header().parents);
+  if (block.header().timestamp_ms <= min_exclusive) {
+    return Reject(FailedPreconditionError(
+        "timestamp " + std::to_string(block.header().timestamp_ms) +
+        " not after parents' max " + std::to_string(min_exclusive)));
+  }
+  // ... but not ahead of our clock (beyond allowed skew). Our clock
+  // may simply be behind; quarantine instead of rejecting so that all
+  // replicas eventually agree.
+  if (block.header().timestamp_ms > local_time_ms + params.max_clock_skew_ms) {
+    return Retry(FailedPreconditionError("timestamp in the local future"));
+  }
+
+  // Causal revocation check: the block is invalid iff its creator was
+  // revoked somewhere in the block's own causal past. Revocations
+  // elsewhere (concurrent or later) do not retroactively invalidate
+  // it — removing it would violate tamperproofness.
+  if (membership.IsRevoked(block.header().user_id)) {
+    for (const BlockHash& rev : membership.RevocationBlocksOf(
+             block.header().user_id)) {
+      for (const BlockHash& parent : block.header().parents) {
+        if (dag.IsAncestor(rev, parent, /*include_self=*/true)) {
+          return Reject(PermissionDeniedError(
+              "creator revoked in block's causal past"));
+        }
+      }
+    }
+  }
+
+  return ValidationResult{BlockVerdict::kValid, Status::Ok()};
+}
+
+}  // namespace vegvisir::chain

@@ -1,0 +1,126 @@
+#include "crdt/counters.h"
+
+namespace vegvisir::crdt {
+namespace {
+
+// Shared validation: zero args (implicit 1) or one non-negative Int.
+Status CheckAmountArgs(Args args) {
+  if (args.empty()) return Status::Ok();
+  if (args.size() > 1) {
+    return InvalidArgumentError("counter ops take at most one argument");
+  }
+  if (args[0].type() != ValueType::kInt) {
+    return InvalidArgumentError("counter amount must be an int");
+  }
+  if (args[0].AsInt() < 0) {
+    return InvalidArgumentError("counter amount must be non-negative");
+  }
+  return Status::Ok();
+}
+
+std::int64_t AmountOf(Args args) {
+  return args.empty() ? 1 : args[0].AsInt();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- GCounter
+
+Status GCounter::CheckOp(const std::string& op, Args args) const {
+  if (op != "inc") return InvalidArgumentError("gcounter supports only 'inc'");
+  return CheckAmountArgs(args);
+}
+
+Status GCounter::Apply(const std::string& op, Args args,
+                       const OpContext& ctx) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  const std::int64_t amount = AmountOf(args);
+  total_ += amount;
+  per_user_[ctx.user_id] += amount;
+  return Status::Ok();
+}
+
+std::int64_t GCounter::ValueOf(const std::string& user_id) const {
+  const auto it = per_user_.find(user_id);
+  return it == per_user_.end() ? 0 : it->second;
+}
+
+Bytes GCounter::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("gcounter");
+  w.WriteVarint(per_user_.size());
+  for (const auto& [user, amount] : per_user_) {
+    w.WriteString(user);
+    w.WriteI64(amount);
+  }
+  return w.Take();
+}
+
+// -------------------------------------------------------------- PnCounter
+
+Status PnCounter::CheckOp(const std::string& op, Args args) const {
+  if (op != "inc" && op != "dec") {
+    return InvalidArgumentError("pncounter supports 'inc' and 'dec'");
+  }
+  return CheckAmountArgs(args);
+}
+
+Status PnCounter::Apply(const std::string& op, Args args, const OpContext&) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  const std::int64_t amount = AmountOf(args);
+  if (op == "inc") {
+    increments_ += amount;
+  } else {
+    decrements_ += amount;
+  }
+  return Status::Ok();
+}
+
+Bytes PnCounter::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("pncounter");
+  w.WriteI64(increments_);
+  w.WriteI64(decrements_);
+  return w.Take();
+}
+
+// ------------------------------------------------- state serialization
+
+void GCounter::EncodeState(serial::Writer* w) const {
+  w->WriteI64(total_);
+  w->WriteVarint(per_user_.size());
+  for (const auto& [user, amount] : per_user_) {
+    w->WriteString(user);
+    w->WriteI64(amount);
+  }
+}
+
+Status GCounter::DecodeState(serial::Reader* r) {
+  VEGVISIR_RETURN_IF_ERROR(r->ReadI64(&total_));
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    return InvalidArgumentError("per-user count exceeds input");
+  }
+  per_user_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string user;
+    std::int64_t amount;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadString(&user));
+    VEGVISIR_RETURN_IF_ERROR(r->ReadI64(&amount));
+    per_user_[std::move(user)] = amount;
+  }
+  return Status::Ok();
+}
+
+void PnCounter::EncodeState(serial::Writer* w) const {
+  w->WriteI64(increments_);
+  w->WriteI64(decrements_);
+}
+
+Status PnCounter::DecodeState(serial::Reader* r) {
+  VEGVISIR_RETURN_IF_ERROR(r->ReadI64(&increments_));
+  return r->ReadI64(&decrements_);
+}
+
+}  // namespace vegvisir::crdt

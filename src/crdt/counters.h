@@ -1,0 +1,63 @@
+// Counter CRDTs: G-Counter (grow-only) and PN-Counter.
+//
+// Because the Vegvisir DAG delivers every transaction exactly once,
+// op-based counters are simple sums; per-user subtotals are kept for
+// introspection (matching the classic state-based formulation).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crdt/crdt.h"
+
+namespace vegvisir::crdt {
+
+// Grow-only counter. Ops: inc(amount >= 0) where amount is an Int;
+// inc() with no args increments by 1.
+class GCounter : public Crdt {
+ public:
+  explicit GCounter(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kGCounter; }
+  std::vector<std::string> SupportedOps() const override { return {"inc"}; }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  std::int64_t Value() const { return total_; }
+  std::int64_t ValueOf(const std::string& user_id) const;
+
+ private:
+  std::int64_t total_ = 0;
+  std::map<std::string, std::int64_t> per_user_;
+};
+
+// Positive-negative counter. Ops: inc(amount >= 0), dec(amount >= 0);
+// both default to 1 with no args.
+class PnCounter : public Crdt {
+ public:
+  explicit PnCounter(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kPnCounter; }
+  std::vector<std::string> SupportedOps() const override {
+    return {"inc", "dec"};
+  }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  std::int64_t Value() const { return increments_ - decrements_; }
+  std::int64_t Increments() const { return increments_; }
+  std::int64_t Decrements() const { return decrements_; }
+
+ private:
+  std::int64_t increments_ = 0;
+  std::int64_t decrements_ = 0;
+};
+
+}  // namespace vegvisir::crdt

@@ -1,0 +1,92 @@
+#include "crdt/crdt.h"
+
+#include "crdt/counters.h"
+#include "crdt/flags.h"
+#include "crdt/map.h"
+#include "crdt/registers.h"
+#include "crdt/rga.h"
+#include "crdt/sets.h"
+
+namespace vegvisir::crdt {
+
+const char* CrdtTypeName(CrdtType t) {
+  switch (t) {
+    case CrdtType::kGSet: return "gset";
+    case CrdtType::kTwoPSet: return "2pset";
+    case CrdtType::kOrSet: return "orset";
+    case CrdtType::kGCounter: return "gcounter";
+    case CrdtType::kPnCounter: return "pncounter";
+    case CrdtType::kLwwRegister: return "lww";
+    case CrdtType::kMvRegister: return "mv";
+    case CrdtType::kLwwMap: return "lwwmap";
+    case CrdtType::kRga: return "rga";
+    case CrdtType::kEwFlag: return "ewflag";
+  }
+  return "unknown";
+}
+
+bool CrdtTypeFromName(const std::string& name, CrdtType* out) {
+  for (int t = 0; t <= static_cast<int>(CrdtType::kEwFlag); ++t) {
+    const auto type = static_cast<CrdtType>(t);
+    if (name == CrdtTypeName(type)) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Crdt::ExpectArgCount(Args args, std::size_t n) const {
+  if (args.size() != n) {
+    return InvalidArgumentError("expected " + std::to_string(n) +
+                                " argument(s), got " +
+                                std::to_string(args.size()));
+  }
+  return Status::Ok();
+}
+
+Status Crdt::ExpectArgCountAtLeast(Args args, std::size_t n) const {
+  if (args.size() < n) {
+    return InvalidArgumentError("expected at least " + std::to_string(n) +
+                                " argument(s), got " +
+                                std::to_string(args.size()));
+  }
+  return Status::Ok();
+}
+
+Status Crdt::ExpectArgType(Args args, std::size_t index, ValueType t) const {
+  if (args[index].type() != t) {
+    return InvalidArgumentError(
+        std::string("argument ") + std::to_string(index) + " must be " +
+        ValueTypeName(t) + ", got " + ValueTypeName(args[index].type()));
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<Crdt> CreateCrdt(CrdtType type, ValueType element_type) {
+  switch (type) {
+    case CrdtType::kGSet:
+      return std::make_unique<GSet>(element_type);
+    case CrdtType::kTwoPSet:
+      return std::make_unique<TwoPSet>(element_type);
+    case CrdtType::kOrSet:
+      return std::make_unique<OrSet>(element_type);
+    case CrdtType::kGCounter:
+      return std::make_unique<GCounter>(element_type);
+    case CrdtType::kPnCounter:
+      return std::make_unique<PnCounter>(element_type);
+    case CrdtType::kLwwRegister:
+      return std::make_unique<LwwRegister>(element_type);
+    case CrdtType::kMvRegister:
+      return std::make_unique<MvRegister>(element_type);
+    case CrdtType::kLwwMap:
+      return std::make_unique<LwwMap>(element_type);
+    case CrdtType::kRga:
+      return std::make_unique<Rga>(element_type);
+    case CrdtType::kEwFlag:
+      return std::make_unique<EwFlag>(element_type);
+  }
+  return nullptr;
+}
+
+}  // namespace vegvisir::crdt

@@ -1,0 +1,114 @@
+// The CRDT interface.
+//
+// Vegvisir restricts applications to CRDTs so that any total order
+// consistent with the DAG's partial order produces the same state
+// (paper §IV-C). Concretely, every operation accepted by `CheckOp`
+// must commute with every concurrent operation: `Apply` over any
+// topological order of the DAG yields the same `StateFingerprint`.
+// The property tests in tests/crdt_property_test.cpp verify exactly
+// that, by applying random operation sets in many shuffled orders.
+//
+// Operations carry an `OpContext` derived from the enclosing block:
+// a globally unique transaction id (block hash + index), the creating
+// user, and the block timestamp. Types that need causal context
+// (OR-Set removes, MV-Register writes) receive it *explicitly in the
+// operation arguments*, recorded by the writer at submit time — this
+// keeps the CRDT layer independent of the DAG.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crdt/value.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace vegvisir::crdt {
+
+enum class CrdtType : std::uint8_t {
+  kGSet = 0,         // add-only set
+  kTwoPSet = 1,      // two-phase set (add + tombstone remove)
+  kOrSet = 2,        // observed-remove set
+  kGCounter = 3,     // grow-only counter
+  kPnCounter = 4,    // increment/decrement counter
+  kLwwRegister = 5,  // last-writer-wins register
+  kMvRegister = 6,   // multi-value register
+  kLwwMap = 7,       // last-writer-wins map<string, Value>
+  kRga = 8,          // replicated growable array (ordered sequence)
+  kEwFlag = 9,       // enable-wins boolean flag
+};
+
+const char* CrdtTypeName(CrdtType t);
+
+// Parses "gset", "2pset", ... Returns false on unknown name.
+bool CrdtTypeFromName(const std::string& name, CrdtType* out);
+
+// Per-operation metadata supplied by the CRDT state machine.
+struct OpContext {
+  std::string tx_id;        // unique: "<block-hash-hex>:<tx-index>"
+  std::string user_id;      // authenticated creator of the block
+  std::uint64_t timestamp;  // block timestamp (ms since epoch)
+};
+
+using Args = std::span<const Value>;
+
+class Crdt {
+ public:
+  virtual ~Crdt() = default;
+
+  Crdt(const Crdt&) = delete;
+  Crdt& operator=(const Crdt&) = delete;
+  Crdt(Crdt&&) = default;
+  Crdt& operator=(Crdt&&) = default;
+
+  virtual CrdtType type() const = 0;
+
+  // The element/value type this instance was created with.
+  ValueType element_type() const { return element_type_; }
+
+  // Operation names this type accepts ("add", "remove", ...).
+  virtual std::vector<std::string> SupportedOps() const = 0;
+
+  // Validates an operation without mutating state: operation name is
+  // supported and arguments pass type checks. Must be side-effect
+  // free; called by both the submitter and every validator.
+  virtual Status CheckOp(const std::string& op, Args args) const = 0;
+
+  // Applies a validated operation. Implementations must be
+  // commutative for concurrent operations (see file comment).
+  virtual Status Apply(const std::string& op, Args args,
+                       const OpContext& ctx) = 0;
+
+  // Canonical digest of the current state; two replicas converged iff
+  // their fingerprints match. Iteration order inside is sorted, never
+  // insertion order.
+  virtual Bytes StateFingerprint() const = 0;
+
+  // Full-state serialization for checkpointing (csm::StateMachine
+  // snapshots): unlike the fingerprint, this round-trips.
+  // DecodeState replaces the current state entirely; the instance
+  // must have been created with the same type and element type.
+  virtual void EncodeState(serial::Writer* w) const = 0;
+  virtual Status DecodeState(serial::Reader* r) = 0;
+
+ protected:
+  explicit Crdt(ValueType element_type) : element_type_(element_type) {}
+
+  // Shared arg validation helpers.
+  Status ExpectArgCount(Args args, std::size_t n) const;
+  Status ExpectArgCountAtLeast(Args args, std::size_t n) const;
+  Status ExpectArgType(Args args, std::size_t index, ValueType t) const;
+
+ private:
+  ValueType element_type_;
+};
+
+// Instantiates an empty CRDT of the given type. `element_type` is the
+// element type for sets/registers and the value type for maps;
+// counters ignore it.
+std::unique_ptr<Crdt> CreateCrdt(CrdtType type, ValueType element_type);
+
+}  // namespace vegvisir::crdt

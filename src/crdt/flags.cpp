@@ -1,0 +1,77 @@
+#include "crdt/flags.h"
+
+namespace vegvisir::crdt {
+
+Status EwFlag::CheckOp(const std::string& op, Args args) const {
+  if (op == "enable") {
+    return ExpectArgCount(args, 0);
+  }
+  if (op == "disable") {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      VEGVISIR_RETURN_IF_ERROR(ExpectArgType(args, i, ValueType::kStr));
+    }
+    return Status::Ok();
+  }
+  return InvalidArgumentError("ewflag supports 'enable' and 'disable'");
+}
+
+Status EwFlag::Apply(const std::string& op, Args args, const OpContext& ctx) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  if (op == "enable") {
+    enabled_tokens_.insert(ctx.tx_id);
+  } else {
+    // `auto`: the Value type name is shadowed by EwFlag::Value().
+    for (const auto& v : args) disabled_tokens_.insert(v.AsStr());
+  }
+  return Status::Ok();
+}
+
+bool EwFlag::Value() const {
+  for (const std::string& token : enabled_tokens_) {
+    if (disabled_tokens_.count(token) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> EwFlag::ObservedTokens() const {
+  std::vector<std::string> out;
+  for (const std::string& token : enabled_tokens_) {
+    if (disabled_tokens_.count(token) == 0) out.push_back(token);
+  }
+  return out;
+}
+
+Bytes EwFlag::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("ewflag");
+  EncodeState(&w);
+  return w.Take();
+}
+
+void EwFlag::EncodeState(serial::Writer* w) const {
+  w->WriteVarint(enabled_tokens_.size());
+  for (const std::string& t : enabled_tokens_) w->WriteString(t);
+  w->WriteVarint(disabled_tokens_.size());
+  for (const std::string& t : disabled_tokens_) w->WriteString(t);
+}
+
+Status EwFlag::DecodeState(serial::Reader* r) {
+  const auto read_set = [&](std::set<std::string>* out) -> Status {
+    std::uint64_t count;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+    if (count > r->remaining()) {
+      return InvalidArgumentError("token count exceeds input");
+    }
+    out->clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string t;
+      VEGVISIR_RETURN_IF_ERROR(r->ReadString(&t));
+      out->insert(std::move(t));
+    }
+    return Status::Ok();
+  };
+  VEGVISIR_RETURN_IF_ERROR(read_set(&enabled_tokens_));
+  return read_set(&disabled_tokens_);
+}
+
+}  // namespace vegvisir::crdt

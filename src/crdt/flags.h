@@ -1,0 +1,45 @@
+// EW-Flag: an enable-wins boolean flag CRDT.
+//
+// The IoT actuator-state primitive (valve open, alarm armed, pump
+// running). Structured like an observed-remove set over enable
+// tokens: enable() mints a token (the op's tx id), disable(tokens...)
+// cancels exactly the enables the writer had observed. A concurrent
+// enable therefore survives a disable — enable wins — which is the
+// safe default for alarms: turning an alarm off never silently
+// cancels an activation you had not seen.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crdt/crdt.h"
+
+namespace vegvisir::crdt {
+
+class EwFlag : public Crdt {
+ public:
+  explicit EwFlag(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kEwFlag; }
+  std::vector<std::string> SupportedOps() const override {
+    return {"enable", "disable"};
+  }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  // True iff at least one enable has not been cancelled.
+  bool Value() const;
+
+  // The live enable tokens a disabler should cite.
+  std::vector<std::string> ObservedTokens() const;
+
+ private:
+  std::set<std::string> enabled_tokens_;
+  std::set<std::string> disabled_tokens_;
+};
+
+}  // namespace vegvisir::crdt

@@ -1,0 +1,110 @@
+#include "crdt/map.h"
+
+namespace vegvisir::crdt {
+
+Status LwwMap::CheckOp(const std::string& op, Args args) const {
+  if (op == "put") {
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgCount(args, 2));
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgType(args, 0, ValueType::kStr));
+    return ExpectArgType(args, 1, element_type());
+  }
+  if (op == "remove") {
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgCount(args, 1));
+    return ExpectArgType(args, 0, ValueType::kStr);
+  }
+  return InvalidArgumentError("lwwmap supports 'put' and 'remove'");
+}
+
+Status LwwMap::Apply(const std::string& op, Args args, const OpContext& ctx) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  const std::string& key = args[0].AsStr();
+  Cell& cell = cells_[key];
+  const bool wins = cell.tx_id.empty() || ctx.timestamp > cell.timestamp ||
+                    (ctx.timestamp == cell.timestamp && ctx.tx_id > cell.tx_id);
+  if (wins) {
+    cell.timestamp = ctx.timestamp;
+    cell.tx_id = ctx.tx_id;
+    if (op == "put") {
+      cell.value = args[1];
+    } else {
+      cell.value = std::nullopt;
+    }
+  }
+  return Status::Ok();
+}
+
+std::optional<Value> LwwMap::Get(const std::string& key) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::vector<std::string> LwwMap::LiveKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, cell] : cells_) {
+    if (cell.value.has_value()) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::size_t LwwMap::Size() const {
+  std::size_t n = 0;
+  for (const auto& [key, cell] : cells_) {
+    if (cell.value.has_value()) ++n;
+  }
+  return n;
+}
+
+Bytes LwwMap::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("lwwmap");
+  w.WriteVarint(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    w.WriteString(key);
+    w.WriteBool(cell.value.has_value());
+    if (cell.value.has_value()) cell.value->Encode(&w);
+    w.WriteU64(cell.timestamp);
+    w.WriteString(cell.tx_id);
+  }
+  return w.Take();
+}
+
+// ------------------------------------------------- state serialization
+
+void LwwMap::EncodeState(serial::Writer* w) const {
+  w->WriteVarint(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    w->WriteString(key);
+    w->WriteBool(cell.value.has_value());
+    if (cell.value.has_value()) cell.value->Encode(w);
+    w->WriteU64(cell.timestamp);
+    w->WriteString(cell.tx_id);
+  }
+}
+
+Status LwwMap::DecodeState(serial::Reader* r) {
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    return InvalidArgumentError("cell count exceeds input");
+  }
+  cells_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadString(&key));
+    Cell cell;
+    bool has_value;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadBool(&has_value));
+    if (has_value) {
+      Value v;
+      VEGVISIR_RETURN_IF_ERROR(Value::Decode(r, &v));
+      cell.value = std::move(v);
+    }
+    VEGVISIR_RETURN_IF_ERROR(r->ReadU64(&cell.timestamp));
+    VEGVISIR_RETURN_IF_ERROR(r->ReadString(&cell.tx_id));
+    cells_.emplace(std::move(key), std::move(cell));
+  }
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::crdt

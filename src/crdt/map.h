@@ -1,0 +1,47 @@
+// LWW-Map: a last-writer-wins map from string keys to values.
+//
+// Put and remove race per key; the greatest (timestamp, tx_id) wins,
+// whether it is a put or a remove, so all operations commute.
+// This is the shape of the geo-replicated Redis map the paper cites
+// as a composed-CRDT example (§III).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crdt/crdt.h"
+
+namespace vegvisir::crdt {
+
+class LwwMap : public Crdt {
+ public:
+  explicit LwwMap(ValueType value_type) : Crdt(value_type) {}
+
+  CrdtType type() const override { return CrdtType::kLwwMap; }
+  std::vector<std::string> SupportedOps() const override {
+    return {"put", "remove"};
+  }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  // The live value for a key, if the latest write was a put.
+  std::optional<Value> Get(const std::string& key) const;
+  std::vector<std::string> LiveKeys() const;
+  std::size_t Size() const;
+
+ private:
+  struct Cell {
+    std::optional<Value> value;  // nullopt == removed
+    std::uint64_t timestamp = 0;
+    std::string tx_id;
+  };
+
+  std::map<std::string, Cell> cells_;
+};
+
+}  // namespace vegvisir::crdt

@@ -1,0 +1,165 @@
+#include "crdt/registers.h"
+
+#include <algorithm>
+
+namespace vegvisir::crdt {
+
+// ------------------------------------------------------------ LwwRegister
+
+Status LwwRegister::CheckOp(const std::string& op, Args args) const {
+  if (op != "set") return InvalidArgumentError("lww supports only 'set'");
+  VEGVISIR_RETURN_IF_ERROR(ExpectArgCount(args, 1));
+  return ExpectArgType(args, 0, element_type());
+}
+
+Status LwwRegister::Apply(const std::string& op, Args args,
+                          const OpContext& ctx) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  // Keep the write with the greater (timestamp, tx_id); applying the
+  // same set of writes in any order converges on the same winner.
+  if (!value_.has_value() || ctx.timestamp > timestamp_ ||
+      (ctx.timestamp == timestamp_ && ctx.tx_id > tx_id_)) {
+    value_ = args[0];
+    timestamp_ = ctx.timestamp;
+    tx_id_ = ctx.tx_id;
+  }
+  return Status::Ok();
+}
+
+Bytes LwwRegister::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("lww");
+  w.WriteBool(value_.has_value());
+  if (value_.has_value()) {
+    value_->Encode(&w);
+    w.WriteU64(timestamp_);
+    w.WriteString(tx_id_);
+  }
+  return w.Take();
+}
+
+// ------------------------------------------------------------ MvRegister
+
+Status MvRegister::CheckOp(const std::string& op, Args args) const {
+  if (op != "set") return InvalidArgumentError("mv supports only 'set'");
+  VEGVISIR_RETURN_IF_ERROR(ExpectArgCountAtLeast(args, 1));
+  VEGVISIR_RETURN_IF_ERROR(ExpectArgType(args, 0, element_type()));
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgType(args, i, ValueType::kStr));
+  }
+  return Status::Ok();
+}
+
+Status MvRegister::Apply(const std::string& op, Args args,
+                         const OpContext& ctx) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  writes_.emplace(ctx.tx_id, args[0]);
+  // Record supersession of the observed versions; a superseded mark
+  // is permanent, so marks commute regardless of arrival order.
+  if (superseded_.find(ctx.tx_id) == superseded_.end()) {
+    superseded_[ctx.tx_id] = false;
+  }
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    superseded_[args[i].AsStr()] = true;
+  }
+  return Status::Ok();
+}
+
+std::vector<Value> MvRegister::Values() const {
+  std::vector<Value> out;
+  for (const auto& [tx_id, value] : writes_) {
+    const auto it = superseded_.find(tx_id);
+    if (it == superseded_.end() || !it->second) out.push_back(value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> MvRegister::VisibleVersions() const {
+  std::vector<std::string> out;
+  for (const auto& [tx_id, value] : writes_) {
+    const auto it = superseded_.find(tx_id);
+    if (it == superseded_.end() || !it->second) out.push_back(tx_id);
+  }
+  return out;
+}
+
+Bytes MvRegister::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("mv");
+  w.WriteVarint(writes_.size());
+  for (const auto& [tx_id, value] : writes_) {
+    w.WriteString(tx_id);
+    value.Encode(&w);
+    const auto it = superseded_.find(tx_id);
+    w.WriteBool(it != superseded_.end() && it->second);
+  }
+  return w.Take();
+}
+
+// ------------------------------------------------- state serialization
+
+void LwwRegister::EncodeState(serial::Writer* w) const {
+  w->WriteBool(value_.has_value());
+  if (value_.has_value()) value_->Encode(w);
+  w->WriteU64(timestamp_);
+  w->WriteString(tx_id_);
+}
+
+Status LwwRegister::DecodeState(serial::Reader* r) {
+  bool has_value;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadBool(&has_value));
+  if (has_value) {
+    Value v;
+    VEGVISIR_RETURN_IF_ERROR(Value::Decode(r, &v));
+    value_ = std::move(v);
+  } else {
+    value_.reset();
+  }
+  VEGVISIR_RETURN_IF_ERROR(r->ReadU64(&timestamp_));
+  return r->ReadString(&tx_id_);
+}
+
+void MvRegister::EncodeState(serial::Writer* w) const {
+  w->WriteVarint(writes_.size());
+  for (const auto& [tx_id, value] : writes_) {
+    w->WriteString(tx_id);
+    value.Encode(w);
+  }
+  w->WriteVarint(superseded_.size());
+  for (const auto& [tx_id, dead] : superseded_) {
+    w->WriteString(tx_id);
+    w->WriteBool(dead);
+  }
+}
+
+Status MvRegister::DecodeState(serial::Reader* r) {
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    return InvalidArgumentError("write count exceeds input");
+  }
+  writes_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string tx_id;
+    Value v;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadString(&tx_id));
+    VEGVISIR_RETURN_IF_ERROR(Value::Decode(r, &v));
+    writes_.emplace(std::move(tx_id), std::move(v));
+  }
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    return InvalidArgumentError("supersession count exceeds input");
+  }
+  superseded_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string tx_id;
+    bool dead;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadString(&tx_id));
+    VEGVISIR_RETURN_IF_ERROR(r->ReadBool(&dead));
+    superseded_[std::move(tx_id)] = dead;
+  }
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::crdt

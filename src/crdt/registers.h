@@ -1,0 +1,64 @@
+// Register CRDTs: LWW-Register and MV-Register.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crdt/crdt.h"
+
+namespace vegvisir::crdt {
+
+// Last-writer-wins register. Ops: set(value). The winner is the write
+// with the greatest (timestamp, tx_id) pair; the tx id breaks
+// timestamp ties deterministically, so concurrent writes commute.
+class LwwRegister : public Crdt {
+ public:
+  explicit LwwRegister(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kLwwRegister; }
+  std::vector<std::string> SupportedOps() const override { return {"set"}; }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  std::optional<Value> Get() const { return value_; }
+
+ private:
+  std::optional<Value> value_;
+  std::uint64_t timestamp_ = 0;
+  std::string tx_id_;
+};
+
+// Multi-value register. Ops: set(value, observed_tx_id...). A write
+// supersedes exactly the writes whose tx ids it lists (the versions
+// the writer had observed); concurrent writes survive side by side,
+// exposing the conflict to the application.
+class MvRegister : public Crdt {
+ public:
+  explicit MvRegister(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kMvRegister; }
+  std::vector<std::string> SupportedOps() const override { return {"set"}; }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  // All currently-visible (conflicting) values, sorted.
+  std::vector<Value> Values() const;
+
+  // Tx ids of the visible versions — the causal context a writer
+  // should include in its next set().
+  std::vector<std::string> VisibleVersions() const;
+
+ private:
+  std::map<std::string, Value> writes_;       // tx_id -> value
+  std::map<std::string, bool> superseded_;    // tx_id -> overwritten?
+};
+
+}  // namespace vegvisir::crdt

@@ -1,0 +1,177 @@
+#include "crdt/rga.h"
+
+#include <algorithm>
+
+namespace vegvisir::crdt {
+
+bool Rga::SiblingOrder::operator()(const std::string& a,
+                                   const std::string& b) const {
+  const Elem& ea = rga->elements_.at(a);
+  const Elem& eb = rga->elements_.at(b);
+  if (ea.timestamp != eb.timestamp) return ea.timestamp > eb.timestamp;
+  return a > b;
+}
+
+Status Rga::CheckOp(const std::string& op, Args args) const {
+  if (op == "insert") {
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgCount(args, 2));
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgType(args, 0, ValueType::kStr));
+    return ExpectArgType(args, 1, element_type());
+  }
+  if (op == "remove") {
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgCount(args, 1));
+    return ExpectArgType(args, 0, ValueType::kStr);
+  }
+  return InvalidArgumentError("rga supports 'insert' and 'remove'");
+}
+
+void Rga::Attach(const std::string& id) {
+  const Elem& elem = elements_.at(id);
+  children_[elem.parent].push_back(id);
+  // Drain inserts that were waiting for this element.
+  const auto it = pending_children_.find(id);
+  if (it == pending_children_.end()) return;
+  const std::vector<std::string> waiting = std::move(it->second);
+  pending_children_.erase(it);
+  for (const std::string& child : waiting) Attach(child);
+}
+
+Status Rga::Apply(const std::string& op, Args args, const OpContext& ctx) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+
+  if (op == "insert") {
+    const std::string& parent = args[0].AsStr();
+    const std::string& id = ctx.tx_id;
+    if (elements_.count(id) > 0) return Status::Ok();  // idempotent replay
+    Elem elem;
+    elem.value = args[1];
+    elem.parent = parent;
+    elem.timestamp = ctx.timestamp;
+    elem.removed = pre_tombstones_.count(id) > 0;
+    pre_tombstones_.erase(id);
+    elements_.emplace(id, std::move(elem));
+    if (parent.empty() || elements_.count(parent) > 0) {
+      Attach(id);
+    } else {
+      pending_children_[parent].push_back(id);  // parent not here yet
+    }
+    return Status::Ok();
+  }
+
+  // remove
+  const std::string& target = args[0].AsStr();
+  const auto it = elements_.find(target);
+  if (it != elements_.end()) {
+    it->second.removed = true;
+  } else {
+    pre_tombstones_.insert(target);  // tombstone ahead of the insert
+  }
+  return Status::Ok();
+}
+
+void Rga::Walk(const std::string& parent,
+               const std::function<void(const std::string&, const Elem&)>&
+                   visit) const {
+  const auto it = children_.find(parent);
+  if (it == children_.end()) return;
+  std::vector<std::string> ordered = it->second;
+  std::sort(ordered.begin(), ordered.end(), SiblingOrder{this});
+  for (const std::string& id : ordered) {
+    const Elem& elem = elements_.at(id);
+    visit(id, elem);
+    Walk(id, visit);
+  }
+}
+
+std::vector<Value> Rga::Values() const {
+  std::vector<Value> out;
+  Walk("", [&](const std::string&, const Elem& elem) {
+    if (!elem.removed) out.push_back(elem.value);
+  });
+  return out;
+}
+
+std::vector<std::string> Rga::VisibleIds() const {
+  std::vector<std::string> out;
+  Walk("", [&](const std::string& id, const Elem& elem) {
+    if (!elem.removed) out.push_back(id);
+  });
+  return out;
+}
+
+Bytes Rga::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("rga");
+  w.WriteVarint(elements_.size());
+  for (const auto& [id, elem] : elements_) {
+    w.WriteString(id);
+    w.WriteString(elem.parent);
+    w.WriteU64(elem.timestamp);
+    w.WriteBool(elem.removed);
+    elem.value.Encode(&w);
+  }
+  w.WriteVarint(pre_tombstones_.size());
+  for (const std::string& t : pre_tombstones_) w.WriteString(t);
+  return w.Take();
+}
+
+// ------------------------------------------------- state serialization
+
+void Rga::EncodeState(serial::Writer* w) const {
+  // Elements carry their parent links, so the children / pending
+  // indexes are derivable and only elements + pre-tombstones are
+  // persisted.
+  w->WriteVarint(elements_.size());
+  for (const auto& [id, elem] : elements_) {
+    w->WriteString(id);
+    w->WriteString(elem.parent);
+    w->WriteU64(elem.timestamp);
+    w->WriteBool(elem.removed);
+    elem.value.Encode(w);
+  }
+  w->WriteVarint(pre_tombstones_.size());
+  for (const std::string& t : pre_tombstones_) w->WriteString(t);
+}
+
+Status Rga::DecodeState(serial::Reader* r) {
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    return InvalidArgumentError("element count exceeds input");
+  }
+  elements_.clear();
+  children_.clear();
+  pending_children_.clear();
+  pre_tombstones_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string id;
+    Elem elem;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadString(&id));
+    VEGVISIR_RETURN_IF_ERROR(r->ReadString(&elem.parent));
+    VEGVISIR_RETURN_IF_ERROR(r->ReadU64(&elem.timestamp));
+    VEGVISIR_RETURN_IF_ERROR(r->ReadBool(&elem.removed));
+    VEGVISIR_RETURN_IF_ERROR(Value::Decode(r, &elem.value));
+    elements_.emplace(std::move(id), std::move(elem));
+  }
+  // Rebuild the attachment indexes.
+  for (const auto& [id, elem] : elements_) {
+    if (elem.parent.empty() || elements_.count(elem.parent) > 0) {
+      children_[elem.parent].push_back(id);
+    } else {
+      pending_children_[elem.parent].push_back(id);
+    }
+  }
+  std::uint64_t tomb_count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&tomb_count));
+  if (tomb_count > r->remaining()) {
+    return InvalidArgumentError("tombstone count exceeds input");
+  }
+  for (std::uint64_t i = 0; i < tomb_count; ++i) {
+    std::string t;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadString(&t));
+    pre_tombstones_.insert(std::move(t));
+  }
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::crdt

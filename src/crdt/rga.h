@@ -1,0 +1,82 @@
+// RGA (Replicated Growable Array): an ordered-sequence CRDT.
+//
+// The paper points at collaborative editing and JSON documents as
+// CRDT applications (§III, refs [30][31]); those need a *sequence*
+// type, which none of the basic sets/registers provide. This is an
+// operation-based RGA:
+//
+//   insert(parent_id, value) — places a new element after `parent_id`
+//     ("" = the virtual head). The new element's id is the op's tx id
+//     (globally unique).
+//   remove(elem_id)          — tombstones an element.
+//
+// Concurrent inserts after the same parent are ordered by
+// (timestamp, id) descending — newer-first, the classic RGA rule —
+// which is deterministic, so replicas converge under any delivery
+// order. Inserts whose parent has not arrived yet are parked and
+// attached when it does; removes of not-yet-seen elements tombstone
+// by id in advance. Both make the type fully commutative.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crdt/crdt.h"
+
+namespace vegvisir::crdt {
+
+class Rga : public Crdt {
+ public:
+  explicit Rga(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kRga; }
+  std::vector<std::string> SupportedOps() const override {
+    return {"insert", "remove"};
+  }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  // The visible sequence, in document order.
+  std::vector<Value> Values() const;
+  // Ids of the visible elements, aligned with Values(); writers use
+  // these as insert parents and remove targets.
+  std::vector<std::string> VisibleIds() const;
+  std::size_t Size() const { return Values().size(); }
+  // Total elements including tombstones (state-growth metric).
+  std::size_t ElementCount() const { return elements_.size(); }
+
+ private:
+  struct Elem {
+    Value value;
+    std::string parent;       // "" = head
+    std::uint64_t timestamp = 0;
+    bool removed = false;
+  };
+
+  // Sibling order: (timestamp, id) descending.
+  struct SiblingOrder {
+    const Rga* rga;
+    bool operator()(const std::string& a, const std::string& b) const;
+  };
+
+  void Attach(const std::string& id);
+  void Walk(const std::string& parent,
+            const std::function<void(const std::string&, const Elem&)>& visit)
+      const;
+
+  std::map<std::string, Elem> elements_;
+  // parent id -> attached children (ordered at traversal time).
+  std::map<std::string, std::vector<std::string>> children_;
+  // parent id -> inserts waiting for that parent to arrive.
+  std::map<std::string, std::vector<std::string>> pending_children_;
+  // removes that arrived before their target.
+  std::set<std::string> pre_tombstones_;
+};
+
+}  // namespace vegvisir::crdt

@@ -1,0 +1,238 @@
+#include "crdt/sets.h"
+
+namespace vegvisir::crdt {
+namespace {
+
+// Fingerprint helper: encodes a tag followed by a sorted set of values.
+void EncodeValueSet(serial::Writer* w, const std::set<Value>& values) {
+  w->WriteVarint(values.size());
+  for (const Value& v : values) v.Encode(w);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- GSet
+
+Status GSet::CheckOp(const std::string& op, Args args) const {
+  if (op != "add") return InvalidArgumentError("gset supports only 'add'");
+  VEGVISIR_RETURN_IF_ERROR(ExpectArgCount(args, 1));
+  return ExpectArgType(args, 0, element_type());
+}
+
+Status GSet::Apply(const std::string& op, Args args, const OpContext&) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  elements_.insert(args[0]);
+  return Status::Ok();
+}
+
+Bytes GSet::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("gset");
+  EncodeValueSet(&w, elements_);
+  return w.Take();
+}
+
+// --------------------------------------------------------------- TwoPSet
+
+Status TwoPSet::CheckOp(const std::string& op, Args args) const {
+  if (op != "add" && op != "remove") {
+    return InvalidArgumentError("2pset supports 'add' and 'remove'");
+  }
+  VEGVISIR_RETURN_IF_ERROR(ExpectArgCount(args, 1));
+  return ExpectArgType(args, 0, element_type());
+}
+
+Status TwoPSet::Apply(const std::string& op, Args args, const OpContext&) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  if (op == "add") {
+    added_.insert(args[0]);
+  } else {
+    removed_.insert(args[0]);
+  }
+  return Status::Ok();
+}
+
+std::set<Value> TwoPSet::LiveElements() const {
+  std::set<Value> live;
+  for (const Value& v : added_) {
+    if (removed_.count(v) == 0) live.insert(v);
+  }
+  return live;
+}
+
+Bytes TwoPSet::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("2pset");
+  EncodeValueSet(&w, added_);
+  EncodeValueSet(&w, removed_);
+  return w.Take();
+}
+
+// ----------------------------------------------------------------- OrSet
+
+Status OrSet::CheckOp(const std::string& op, Args args) const {
+  if (op == "add") {
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgCount(args, 1));
+    return ExpectArgType(args, 0, element_type());
+  }
+  if (op == "remove") {
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgCountAtLeast(args, 1));
+    VEGVISIR_RETURN_IF_ERROR(ExpectArgType(args, 0, element_type()));
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      VEGVISIR_RETURN_IF_ERROR(ExpectArgType(args, i, ValueType::kStr));
+    }
+    return Status::Ok();
+  }
+  return InvalidArgumentError("orset supports 'add' and 'remove'");
+}
+
+Status OrSet::Apply(const std::string& op, Args args, const OpContext& ctx) {
+  VEGVISIR_RETURN_IF_ERROR(CheckOp(op, args));
+  if (op == "add") {
+    added_tags_[args[0]].insert(ctx.tx_id);
+  } else {
+    auto& removed = removed_tags_[args[0]];
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      removed.insert(args[i].AsStr());
+    }
+  }
+  return Status::Ok();
+}
+
+bool OrSet::Contains(const Value& v) const {
+  const auto it = added_tags_.find(v);
+  if (it == added_tags_.end()) return false;
+  const auto rem_it = removed_tags_.find(v);
+  if (rem_it == removed_tags_.end()) return !it->second.empty();
+  for (const std::string& tag : it->second) {
+    if (rem_it->second.count(tag) == 0) return true;
+  }
+  return false;
+}
+
+std::set<Value> OrSet::LiveElements() const {
+  std::set<Value> live;
+  for (const auto& [v, tags] : added_tags_) {
+    if (Contains(v)) live.insert(v);
+  }
+  return live;
+}
+
+std::vector<std::string> OrSet::ObservedTags(const Value& v) const {
+  std::vector<std::string> tags;
+  const auto it = added_tags_.find(v);
+  if (it == added_tags_.end()) return tags;
+  const auto rem_it = removed_tags_.find(v);
+  for (const std::string& tag : it->second) {
+    if (rem_it == removed_tags_.end() || rem_it->second.count(tag) == 0) {
+      tags.push_back(tag);
+    }
+  }
+  return tags;
+}
+
+Bytes OrSet::StateFingerprint() const {
+  serial::Writer w;
+  w.WriteString("orset");
+  w.WriteVarint(added_tags_.size());
+  for (const auto& [v, tags] : added_tags_) {
+    v.Encode(&w);
+    w.WriteVarint(tags.size());
+    for (const std::string& t : tags) w.WriteString(t);
+  }
+  w.WriteVarint(removed_tags_.size());
+  for (const auto& [v, tags] : removed_tags_) {
+    v.Encode(&w);
+    w.WriteVarint(tags.size());
+    for (const std::string& t : tags) w.WriteString(t);
+  }
+  return w.Take();
+}
+
+// ------------------------------------------------- state serialization
+
+namespace {
+
+Status DecodeValueSet(serial::Reader* r, std::set<Value>* out) {
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    return InvalidArgumentError("value set count exceeds input");
+  }
+  out->clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Value v;
+    VEGVISIR_RETURN_IF_ERROR(Value::Decode(r, &v));
+    out->insert(std::move(v));
+  }
+  return Status::Ok();
+}
+
+void EncodeTagMap(serial::Writer* w,
+                  const std::map<Value, std::set<std::string>>& m) {
+  w->WriteVarint(m.size());
+  for (const auto& [v, tags] : m) {
+    v.Encode(w);
+    w->WriteVarint(tags.size());
+    for (const std::string& t : tags) w->WriteString(t);
+  }
+}
+
+Status DecodeTagMap(serial::Reader* r,
+                    std::map<Value, std::set<std::string>>* out) {
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    return InvalidArgumentError("tag map count exceeds input");
+  }
+  out->clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Value v;
+    VEGVISIR_RETURN_IF_ERROR(Value::Decode(r, &v));
+    std::uint64_t tag_count;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&tag_count));
+    if (tag_count > r->remaining()) {
+      return InvalidArgumentError("tag count exceeds input");
+    }
+    std::set<std::string> tags;
+    for (std::uint64_t t = 0; t < tag_count; ++t) {
+      std::string tag;
+      VEGVISIR_RETURN_IF_ERROR(r->ReadString(&tag));
+      tags.insert(std::move(tag));
+    }
+    (*out)[std::move(v)] = std::move(tags);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void GSet::EncodeState(serial::Writer* w) const {
+  EncodeValueSet(w, elements_);
+}
+
+Status GSet::DecodeState(serial::Reader* r) {
+  return DecodeValueSet(r, &elements_);
+}
+
+void TwoPSet::EncodeState(serial::Writer* w) const {
+  EncodeValueSet(w, added_);
+  EncodeValueSet(w, removed_);
+}
+
+Status TwoPSet::DecodeState(serial::Reader* r) {
+  VEGVISIR_RETURN_IF_ERROR(DecodeValueSet(r, &added_));
+  return DecodeValueSet(r, &removed_);
+}
+
+void OrSet::EncodeState(serial::Writer* w) const {
+  EncodeTagMap(w, added_tags_);
+  EncodeTagMap(w, removed_tags_);
+}
+
+Status OrSet::DecodeState(serial::Reader* r) {
+  VEGVISIR_RETURN_IF_ERROR(DecodeTagMap(r, &added_tags_));
+  return DecodeTagMap(r, &removed_tags_);
+}
+
+}  // namespace vegvisir::crdt

@@ -1,0 +1,104 @@
+// Set CRDTs: G-Set (add-only), 2P-Set (two-phase), OR-Set
+// (observed-remove).
+//
+// The paper uses a G-Set for the health-record request log H and a
+// 2P-Set of certificates for the membership set U (§IV-D). The OR-Set
+// is provided for applications that need re-addable elements.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crdt/crdt.h"
+
+namespace vegvisir::crdt {
+
+// Add-only set. Ops: add(elem).
+class GSet : public Crdt {
+ public:
+  explicit GSet(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kGSet; }
+  std::vector<std::string> SupportedOps() const override { return {"add"}; }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  bool Contains(const Value& v) const { return elements_.count(v) > 0; }
+  std::size_t Size() const { return elements_.size(); }
+  const std::set<Value>& Elements() const { return elements_; }
+
+ private:
+  std::set<Value> elements_;
+};
+
+// Two-phase set: remove wins permanently (tombstones). Ops:
+// add(elem), remove(elem). An element may be removed before its add
+// is observed; removal is still permanent (commutativity demands it).
+class TwoPSet : public Crdt {
+ public:
+  explicit TwoPSet(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kTwoPSet; }
+  std::vector<std::string> SupportedOps() const override {
+    return {"add", "remove"};
+  }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  // Present iff added and never removed: A \ R.
+  bool Contains(const Value& v) const {
+    return added_.count(v) > 0 && removed_.count(v) == 0;
+  }
+  std::set<Value> LiveElements() const;
+  const std::set<Value>& AddSet() const { return added_; }
+  const std::set<Value>& RemoveSet() const { return removed_; }
+
+ private:
+  std::set<Value> added_;
+  std::set<Value> removed_;
+};
+
+// Observed-remove set. Ops:
+//   add(elem)                      -- tags the add with the tx id
+//   remove(elem, tag...)           -- removes the *observed* add tags
+// (extra args are the string tx ids of observed adds; the submitting
+// node fills them in via ObservedTags()).
+// An add whose tag was not covered by any remove survives, so
+// re-adding after a remove works — unlike 2P-Set.
+class OrSet : public Crdt {
+ public:
+  explicit OrSet(ValueType element_type) : Crdt(element_type) {}
+
+  CrdtType type() const override { return CrdtType::kOrSet; }
+  std::vector<std::string> SupportedOps() const override {
+    return {"add", "remove"};
+  }
+  Status CheckOp(const std::string& op, Args args) const override;
+  Status Apply(const std::string& op, Args args, const OpContext& ctx) override;
+  Bytes StateFingerprint() const override;
+  void EncodeState(serial::Writer* w) const override;
+  Status DecodeState(serial::Reader* r) override;
+
+  bool Contains(const Value& v) const;
+  std::set<Value> LiveElements() const;
+
+  // The currently-visible add tags for `v`; a submitter includes these
+  // in its remove operation.
+  std::vector<std::string> ObservedTags(const Value& v) const;
+
+ private:
+  // Per element: tags added, tags removed. Element live iff
+  // added - removed is nonempty.
+  std::map<Value, std::set<std::string>> added_tags_;
+  std::map<Value, std::set<std::string>> removed_tags_;
+};
+
+}  // namespace vegvisir::crdt

@@ -1,0 +1,106 @@
+#include "crdt/value.h"
+
+namespace vegvisir::crdt {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kStr: return "str";
+    case ValueType::kBytes: return "bytes";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+std::strong_ordering Value::operator<=>(const Value& other) const {
+  if (auto c = data_.index() <=> other.data_.index(); c != 0) return c;
+  switch (type()) {
+    case ValueType::kBool:
+      return AsBool() <=> other.AsBool();
+    case ValueType::kInt:
+      return AsInt() <=> other.AsInt();
+    case ValueType::kStr:
+      return AsStr().compare(other.AsStr()) <=> 0;
+    case ValueType::kBytes: {
+      const Bytes& a = AsBytes();
+      const Bytes& b = other.AsBytes();
+      if (auto c = std::lexicographical_compare_three_way(
+              a.begin(), a.end(), b.begin(), b.end());
+          c != 0) {
+        return c;
+      }
+      return std::strong_ordering::equal;
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+void Value::Encode(serial::Writer* w) const {
+  w->WriteU8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kBool:
+      w->WriteBool(AsBool());
+      break;
+    case ValueType::kInt:
+      w->WriteI64(AsInt());
+      break;
+    case ValueType::kStr:
+      w->WriteString(AsStr());
+      break;
+    case ValueType::kBytes:
+      w->WriteBytes(AsBytes());
+      break;
+  }
+}
+
+Status Value::Decode(serial::Reader* r, Value* out) {
+  std::uint8_t tag;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadU8(&tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kBool: {
+      bool b;
+      VEGVISIR_RETURN_IF_ERROR(r->ReadBool(&b));
+      *out = OfBool(b);
+      return Status::Ok();
+    }
+    case ValueType::kInt: {
+      std::int64_t i;
+      VEGVISIR_RETURN_IF_ERROR(r->ReadI64(&i));
+      *out = OfInt(i);
+      return Status::Ok();
+    }
+    case ValueType::kStr: {
+      std::string s;
+      VEGVISIR_RETURN_IF_ERROR(r->ReadString(&s));
+      *out = OfStr(std::move(s));
+      return Status::Ok();
+    }
+    case ValueType::kBytes: {
+      Bytes b;
+      VEGVISIR_RETURN_IF_ERROR(r->ReadBytes(&b));
+      *out = OfBytes(std::move(b));
+      return Status::Ok();
+    }
+  }
+  return InvalidArgumentError("unknown value type tag");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return AsBool() ? "bool:true" : "bool:false";
+    case ValueType::kInt:
+      return "int:" + std::to_string(AsInt());
+    case ValueType::kStr:
+      return "str:\"" + AsStr() + "\"";
+    case ValueType::kBytes:
+      return "bytes:" + ToHex(AsBytes());
+  }
+  return "?";
+}
+
+}  // namespace vegvisir::crdt

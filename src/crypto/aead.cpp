@@ -1,0 +1,60 @@
+#include "crypto/aead.h"
+
+#include <cstring>
+
+namespace vegvisir::crypto {
+namespace {
+
+Poly1305Tag ComputeTag(const ChaCha20Key& key, const ChaCha20Nonce& nonce,
+                       ByteSpan ciphertext, ByteSpan aad) {
+  // One-time Poly1305 key: first 32 bytes of the counter-0 keystream.
+  const auto block0 = ChaCha20Block(key, nonce, 0);
+  Poly1305Key poly_key;
+  std::memcpy(poly_key.data(), block0.data(), poly_key.size());
+
+  Poly1305 mac(poly_key);
+  static constexpr std::uint8_t kZeros[16] = {0};
+  mac.Update(aad);
+  if (aad.size() % 16 != 0) {
+    mac.Update(ByteSpan(kZeros, 16 - aad.size() % 16));
+  }
+  mac.Update(ciphertext);
+  if (ciphertext.size() % 16 != 0) {
+    mac.Update(ByteSpan(kZeros, 16 - ciphertext.size() % 16));
+  }
+  std::uint8_t lengths[16];
+  for (int i = 0; i < 8; ++i) {
+    lengths[i] = static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(aad.size()) >> (8 * i));
+    lengths[8 + i] = static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(ciphertext.size()) >> (8 * i));
+  }
+  mac.Update(ByteSpan(lengths, 16));
+  return mac.Finish();
+}
+
+}  // namespace
+
+Bytes AeadSeal(const ChaCha20Key& key, const ChaCha20Nonce& nonce,
+               ByteSpan plaintext, ByteSpan aad) {
+  Bytes out = ChaCha20Xor(key, nonce, 1, plaintext);
+  const Poly1305Tag tag = ComputeTag(key, nonce, out, aad);
+  Append(&out, ByteSpan(tag.data(), tag.size()));
+  return out;
+}
+
+std::optional<Bytes> AeadOpen(const ChaCha20Key& key,
+                              const ChaCha20Nonce& nonce, ByteSpan sealed,
+                              ByteSpan aad) {
+  if (sealed.size() < kPoly1305TagSize) return std::nullopt;
+  const ByteSpan ciphertext(sealed.data(),
+                            sealed.size() - kPoly1305TagSize);
+  const ByteSpan tag(sealed.data() + ciphertext.size(), kPoly1305TagSize);
+  const Poly1305Tag expected = ComputeTag(key, nonce, ciphertext, aad);
+  if (!ConstantTimeEqual(tag, ByteSpan(expected.data(), expected.size()))) {
+    return std::nullopt;
+  }
+  return ChaCha20Xor(key, nonce, 1, ciphertext);
+}
+
+}  // namespace vegvisir::crypto

@@ -1,0 +1,27 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//
+// Authenticated encryption for application payloads stored on the
+// chain: the maritime use case (§II-C) wants contents both
+// confidential and tamper-evident before they ever enter a block.
+// Validated against the RFC 8439 test vector.
+#pragma once
+
+#include <optional>
+
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+// ciphertext || 16-byte tag.
+Bytes AeadSeal(const ChaCha20Key& key, const ChaCha20Nonce& nonce,
+               ByteSpan plaintext, ByteSpan aad = {});
+
+// Returns the plaintext, or nullopt if the tag (or anything covered
+// by it) does not verify.
+std::optional<Bytes> AeadOpen(const ChaCha20Key& key,
+                              const ChaCha20Nonce& nonce, ByteSpan sealed,
+                              ByteSpan aad = {});
+
+}  // namespace vegvisir::crypto

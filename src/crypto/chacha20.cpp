@@ -1,0 +1,79 @@
+#include "crypto/chacha20.h"
+
+namespace vegvisir::crypto {
+namespace {
+
+inline std::uint32_t Rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline std::uint32_t Load32Le(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+inline void Store32Le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                         std::uint32_t& d) {
+  a += b; d ^= a; d = Rotl(d, 16);
+  c += d; b ^= c; b = Rotl(b, 12);
+  a += b; d ^= a; d = Rotl(d, 8);
+  c += d; b ^= c; b = Rotl(b, 7);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> ChaCha20Block(const ChaCha20Key& key,
+                                           const ChaCha20Nonce& nonce,
+                                           std::uint32_t counter) {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = Load32Le(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = Load32Le(nonce.data() + 4 * i);
+
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = state[i];
+
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) Store32Le(out.data() + 4 * i, x[i] + state[i]);
+  return out;
+}
+
+Bytes ChaCha20Xor(const ChaCha20Key& key, const ChaCha20Nonce& nonce,
+                  std::uint32_t initial_counter, ByteSpan data) {
+  Bytes out(data.size());
+  std::uint32_t counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const auto block = ChaCha20Block(key, nonce, counter++);
+    const std::size_t take = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[offset + i] = data[offset + i] ^ block[i];
+    }
+    offset += take;
+  }
+  return out;
+}
+
+}  // namespace vegvisir::crypto

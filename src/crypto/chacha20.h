@@ -1,0 +1,32 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// The paper's maritime use case (Sec. II-C) calls for "full encryption
+// of contents within the blockchain"; transaction payloads can be
+// sealed with ChaCha20 before being placed in a block. Validated
+// against the RFC 8439 test vectors in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+inline constexpr std::size_t kChaCha20KeySize = 32;
+inline constexpr std::size_t kChaCha20NonceSize = 12;
+
+using ChaCha20Key = std::array<std::uint8_t, kChaCha20KeySize>;
+using ChaCha20Nonce = std::array<std::uint8_t, kChaCha20NonceSize>;
+
+// XORs `data` with the ChaCha20 keystream for (key, nonce, counter).
+// Encryption and decryption are the same operation.
+Bytes ChaCha20Xor(const ChaCha20Key& key, const ChaCha20Nonce& nonce,
+                  std::uint32_t initial_counter, ByteSpan data);
+
+// Produces one 64-byte keystream block (exposed for tests).
+std::array<std::uint8_t, 64> ChaCha20Block(const ChaCha20Key& key,
+                                           const ChaCha20Nonce& nonce,
+                                           std::uint32_t counter);
+
+}  // namespace vegvisir::crypto

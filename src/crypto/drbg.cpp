@@ -1,0 +1,71 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace vegvisir::crypto {
+
+Drbg::Drbg(ByteSpan seed) {
+  std::memset(key_, 0x00, sizeof(key_));
+  std::memset(value_, 0x01, sizeof(value_));
+  UpdateState(seed);
+}
+
+Drbg::Drbg(std::uint64_t seed)
+    : Drbg([&] {
+        Bytes b(8);
+        for (int i = 0; i < 8; ++i) {
+          b[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+        }
+        return b;
+      }()) {}
+
+void Drbg::UpdateState(ByteSpan provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  HmacSha256 mac(ByteSpan(key_, 32));
+  mac.Update(ByteSpan(value_, 32));
+  const std::uint8_t zero = 0x00;
+  mac.Update(ByteSpan(&zero, 1));
+  mac.Update(provided);
+  Sha256Digest k = mac.Finish();
+  std::memcpy(key_, k.data(), 32);
+  Sha256Digest v = HmacSha256::Mac(ByteSpan(key_, 32), ByteSpan(value_, 32));
+  std::memcpy(value_, v.data(), 32);
+
+  if (provided.empty()) return;
+
+  // Second round with 0x01 separator, per SP 800-90A.
+  HmacSha256 mac2(ByteSpan(key_, 32));
+  mac2.Update(ByteSpan(value_, 32));
+  const std::uint8_t one = 0x01;
+  mac2.Update(ByteSpan(&one, 1));
+  mac2.Update(provided);
+  k = mac2.Finish();
+  std::memcpy(key_, k.data(), 32);
+  v = HmacSha256::Mac(ByteSpan(key_, 32), ByteSpan(value_, 32));
+  std::memcpy(value_, v.data(), 32);
+}
+
+void Drbg::Generate(std::uint8_t* out, std::size_t len) {
+  std::size_t produced = 0;
+  while (produced < len) {
+    const Sha256Digest v =
+        HmacSha256::Mac(ByteSpan(key_, 32), ByteSpan(value_, 32));
+    std::memcpy(value_, v.data(), 32);
+    const std::size_t take = std::min<std::size_t>(32, len - produced);
+    std::memcpy(out + produced, value_, take);
+    produced += take;
+  }
+  UpdateState({});
+}
+
+Bytes Drbg::Generate(std::size_t len) {
+  Bytes out(len);
+  Generate(out.data(), len);
+  return out;
+}
+
+void Drbg::Reseed(ByteSpan entropy) { UpdateState(entropy); }
+
+}  // namespace vegvisir::crypto

@@ -1,0 +1,39 @@
+// HMAC-DRBG with SHA-256 (NIST SP 800-90A).
+//
+// The library's only source of key material. It is *deliberately*
+// deterministic from its seed: simulations must be reproducible, and
+// on a real deployment the seed would come from the platform's
+// hardware entropy source.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+class Drbg {
+ public:
+  // Seeds from arbitrary entropy input (any length, may be empty for
+  // tests, though callers should provide >= 32 bytes in production).
+  explicit Drbg(ByteSpan seed);
+
+  // Convenience: seeds from a 64-bit value (simulation use).
+  explicit Drbg(std::uint64_t seed);
+
+  // Fills `out` with pseudo-random bytes.
+  void Generate(std::uint8_t* out, std::size_t len);
+
+  Bytes Generate(std::size_t len);
+
+  // Mixes additional entropy into the state.
+  void Reseed(ByteSpan entropy);
+
+ private:
+  void UpdateState(ByteSpan provided);
+
+  std::uint8_t key_[32];
+  std::uint8_t value_[32];
+};
+
+}  // namespace vegvisir::crypto

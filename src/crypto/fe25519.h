@@ -1,0 +1,65 @@
+// Field arithmetic modulo p = 2^255 - 19, for Ed25519.
+//
+// Elements are stored as 5 limbs of 51 bits each (radix 2^51), the
+// standard portable representation. Products are accumulated in
+// unsigned __int128.
+//
+// NOTE: operations here are *not* constant-time (variable-time
+// canonicalization and exponentiation). That is acceptable for this
+// codebase, which runs simulations on trusted hosts; a production
+// deployment on adversarially-observable hardware would swap in a
+// constant-time backend behind the same interface.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+// A field element; limbs hold values < 2^52 between reductions.
+struct Fe {
+  std::uint64_t v[5];
+};
+
+// 0 and 1.
+Fe FeZero();
+Fe FeOne();
+Fe FeFromU64(std::uint64_t x);
+
+// h = f + g (result reduced).
+Fe FeAdd(const Fe& f, const Fe& g);
+// h = f - g (result reduced).
+Fe FeSub(const Fe& f, const Fe& g);
+// h = -f.
+Fe FeNeg(const Fe& f);
+// h = f * g.
+Fe FeMul(const Fe& f, const Fe& g);
+// h = f^2.
+Fe FeSquare(const Fe& f);
+// h = f^-1 (via Fermat: f^(p-2)). f must be nonzero.
+Fe FeInvert(const Fe& f);
+// h = f^((p-5)/8) = f^(2^252 - 3); used by point decompression.
+Fe FePow22523(const Fe& f);
+// h = f^e where e is a 256-bit little-endian exponent.
+Fe FePow(const Fe& f, const std::array<std::uint8_t, 32>& exponent_le);
+
+// Canonical 32-byte little-endian encoding (top bit clear).
+std::array<std::uint8_t, 32> FeToBytes(const Fe& f);
+// Loads 32 little-endian bytes; the top bit (bit 255) is ignored.
+Fe FeFromBytes(ByteSpan bytes);
+
+// True iff f == 0 (mod p).
+bool FeIsZero(const Fe& f);
+// True iff f == g (mod p).
+bool FeEqual(const Fe& f, const Fe& g);
+// The low bit of the canonical encoding ("sign" in RFC 8032).
+bool FeIsNegative(const Fe& f);
+
+// Curve constants (computed once, on first use).
+const Fe& FeConstD();       // d = -121665/121666
+const Fe& FeConstD2();      // 2d
+const Fe& FeConstSqrtM1();  // sqrt(-1) = 2^((p-1)/4)
+
+}  // namespace vegvisir::crypto

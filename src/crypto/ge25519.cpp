@@ -1,0 +1,121 @@
+#include "crypto/ge25519.h"
+
+namespace vegvisir::crypto {
+
+GePoint GeIdentity() {
+  return GePoint{FeZero(), FeOne(), FeOne(), FeZero()};
+}
+
+const GePoint& GeBasePoint() {
+  static const GePoint base = [] {
+    // Encoded base point: y = 4/5 with sign bit 0 (RFC 8032 §5.1).
+    std::array<std::uint8_t, 32> enc;
+    enc[0] = 0x58;
+    for (int i = 1; i < 32; ++i) enc[i] = 0x66;
+    const auto p = GeDecompress(ByteSpan(enc.data(), enc.size()));
+    return *p;  // the constant is well-formed by construction
+  }();
+  return base;
+}
+
+GePoint GeAdd(const GePoint& p, const GePoint& q) {
+  // add-2008-hwcd-3 with k = 2d (a = -1).
+  const Fe a = FeMul(FeSub(p.y, p.x), FeSub(q.y, q.x));
+  const Fe b = FeMul(FeAdd(p.y, p.x), FeAdd(q.y, q.x));
+  const Fe c = FeMul(FeMul(p.t, FeConstD2()), q.t);
+  const Fe d = FeMul(FeAdd(p.z, p.z), q.z);
+  const Fe e = FeSub(b, a);
+  const Fe f = FeSub(d, c);
+  const Fe g = FeAdd(d, c);
+  const Fe h = FeAdd(b, a);
+  return GePoint{FeMul(e, f), FeMul(g, h), FeMul(f, g), FeMul(e, h)};
+}
+
+GePoint GeDouble(const GePoint& p) {
+  // dbl-2008-hwcd with a = -1 (D = -A).
+  const Fe a = FeSquare(p.x);
+  const Fe b = FeSquare(p.y);
+  const Fe c = FeAdd(FeSquare(p.z), FeSquare(p.z));
+  const Fe d = FeNeg(a);
+  const Fe e = FeSub(FeSub(FeSquare(FeAdd(p.x, p.y)), a), b);
+  const Fe g = FeAdd(d, b);
+  const Fe f = FeSub(g, c);
+  const Fe h = FeSub(d, b);
+  return GePoint{FeMul(e, f), FeMul(g, h), FeMul(f, g), FeMul(e, h)};
+}
+
+GePoint GeScalarMult(const GePoint& p,
+                     const std::array<std::uint8_t, 32>& scalar_le) {
+  GePoint r = GeIdentity();
+  for (int bit = 255; bit >= 0; --bit) {
+    r = GeDouble(r);
+    if ((scalar_le[bit / 8] >> (bit % 8)) & 1) r = GeAdd(r, p);
+  }
+  return r;
+}
+
+GePoint GeScalarMultBase(const std::array<std::uint8_t, 32>& scalar_le) {
+  return GeScalarMult(GeBasePoint(), scalar_le);
+}
+
+std::array<std::uint8_t, 32> GeCompress(const GePoint& p) {
+  const Fe z_inv = FeInvert(p.z);
+  const Fe x = FeMul(p.x, z_inv);
+  const Fe y = FeMul(p.y, z_inv);
+  auto out = FeToBytes(y);
+  if (FeIsNegative(x)) out[31] |= 0x80;
+  return out;
+}
+
+std::optional<GePoint> GeDecompress(ByteSpan bytes32) {
+  if (bytes32.size() != 32) return std::nullopt;
+  const bool sign = (bytes32[31] & 0x80) != 0;
+  const Fe y = FeFromBytes(bytes32);  // ignores bit 255
+
+  // x^2 = (y^2 - 1) / (d*y^2 + 1).
+  const Fe y2 = FeSquare(y);
+  const Fe u = FeSub(y2, FeOne());
+  const Fe v = FeAdd(FeMul(FeConstD(), y2), FeOne());
+
+  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8).
+  const Fe v3 = FeMul(FeSquare(v), v);
+  const Fe v7 = FeMul(FeSquare(v3), v);
+  Fe x = FeMul(FeMul(u, v3), FePow22523(FeMul(u, v7)));
+
+  const Fe vx2 = FeMul(v, FeSquare(x));
+  if (!FeEqual(vx2, u)) {
+    if (FeEqual(vx2, FeNeg(u))) {
+      x = FeMul(x, FeConstSqrtM1());
+    } else {
+      return std::nullopt;  // not a quadratic residue: invalid encoding
+    }
+  }
+
+  if (FeIsZero(x) && sign) return std::nullopt;  // -0 is not encodable
+  if (FeIsNegative(x) != sign) x = FeNeg(x);
+
+  return GePoint{x, y, FeOne(), FeMul(x, y)};
+}
+
+bool GeEqual(const GePoint& p, const GePoint& q) {
+  return FeEqual(FeMul(p.x, q.z), FeMul(q.x, p.z)) &&
+         FeEqual(FeMul(p.y, q.z), FeMul(q.y, p.z));
+}
+
+bool GeIsValid(const GePoint& p) {
+  // Affine coordinates.
+  if (FeIsZero(p.z)) return false;
+  const Fe z_inv = FeInvert(p.z);
+  const Fe x = FeMul(p.x, z_inv);
+  const Fe y = FeMul(p.y, z_inv);
+  const Fe t = FeMul(p.t, z_inv);
+  if (!FeEqual(t, FeMul(x, y))) return false;
+  // -x^2 + y^2 == 1 + d x^2 y^2.
+  const Fe x2 = FeSquare(x);
+  const Fe y2 = FeSquare(y);
+  const Fe lhs = FeSub(y2, x2);
+  const Fe rhs = FeAdd(FeOne(), FeMul(FeConstD(), FeMul(x2, y2)));
+  return FeEqual(lhs, rhs);
+}
+
+}  // namespace vegvisir::crypto

@@ -1,0 +1,50 @@
+// Edwards-curve group operations for Ed25519.
+//
+// Points on -x^2 + y^2 = 1 + d x^2 y^2 over GF(2^255 - 19), held in
+// extended coordinates (X : Y : Z : T) with x = X/Z, y = Y/Z,
+// x*y = T/Z. Formulas are the EFD "add-2008-hwcd-3" (a = -1) addition
+// and "dbl-2008-hwcd" doubling.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "crypto/fe25519.h"
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+struct GePoint {
+  Fe x, y, z, t;
+};
+
+// The neutral element (0, 1).
+GePoint GeIdentity();
+
+// The standard base point B (decompressed from its RFC 8032 encoding).
+const GePoint& GeBasePoint();
+
+GePoint GeAdd(const GePoint& p, const GePoint& q);
+GePoint GeDouble(const GePoint& p);
+
+// [scalar] * p, scalar given as 32 little-endian bytes (values up to
+// 2^255 accepted — the clamped secret scalar is not reduced mod L).
+// Variable-time double-and-add; see the fe25519.h timing note.
+GePoint GeScalarMult(const GePoint& p, const std::array<std::uint8_t, 32>& scalar_le);
+
+// [scalar] * B.
+GePoint GeScalarMultBase(const std::array<std::uint8_t, 32>& scalar_le);
+
+// RFC 8032 point compression: 32 bytes = y with sign(x) in bit 255.
+std::array<std::uint8_t, 32> GeCompress(const GePoint& p);
+
+// Decompression; empty if the encoding is not a curve point.
+std::optional<GePoint> GeDecompress(ByteSpan bytes32);
+
+// Projective equality: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1.
+bool GeEqual(const GePoint& p, const GePoint& q);
+
+// True iff p is on the curve and T is consistent (test support).
+bool GeIsValid(const GePoint& p);
+
+}  // namespace vegvisir::crypto

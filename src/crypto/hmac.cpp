@@ -1,0 +1,44 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace vegvisir::crypto {
+
+HmacSha256::HmacSha256(ByteSpan key) { Reset(key); }
+
+void HmacSha256::Reset(ByteSpan key) {
+  std::uint8_t block_key[64] = {0};
+  if (key.size() > 64) {
+    const Sha256Digest digest = Sha256::Hash(key);
+    std::memcpy(block_key, digest.data(), digest.size());
+  } else {
+    if (!key.empty()) std::memcpy(block_key, key.data(), key.size());
+  }
+
+  std::uint8_t ipad_key[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad_key[i] = block_key[i] ^ 0x36;
+    opad_key_[i] = block_key[i] ^ 0x5c;
+  }
+
+  inner_.Reset();
+  inner_.Update(ByteSpan(ipad_key, 64));
+}
+
+void HmacSha256::Update(ByteSpan data) { inner_.Update(data); }
+
+Sha256Digest HmacSha256::Finish() {
+  const Sha256Digest inner_digest = inner_.Finish();
+  Sha256 outer;
+  outer.Update(ByteSpan(opad_key_, 64));
+  outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256Digest HmacSha256::Mac(ByteSpan key, ByteSpan data) {
+  HmacSha256 mac(key);
+  mac.Update(data);
+  return mac.Finish();
+}
+
+}  // namespace vegvisir::crypto

@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// Used by the deterministic random bit generator (HMAC-DRBG) and
+// available to applications for message authentication.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteSpan key);
+
+  void Update(ByteSpan data);
+  Sha256Digest Finish();
+
+  // Re-keys and resets for a new message.
+  void Reset(ByteSpan key);
+
+  static Sha256Digest Mac(ByteSpan key, ByteSpan data);
+
+ private:
+  std::uint8_t opad_key_[64];
+  Sha256 inner_;
+};
+
+}  // namespace vegvisir::crypto

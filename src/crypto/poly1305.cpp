@@ -1,0 +1,187 @@
+#include "crypto/poly1305.h"
+
+#include <cstring>
+
+namespace vegvisir::crypto {
+namespace {
+
+std::uint32_t Load32Le(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+}  // namespace
+
+Poly1305::Poly1305(const Poly1305Key& key) {
+  // r is clamped per RFC 8439 §2.5.1 and split into 5 26-bit limbs.
+  const std::uint8_t* k = key.data();
+  r_[0] = Load32Le(k + 0) & 0x3ffffff;
+  r_[1] = (Load32Le(k + 3) >> 2) & 0x3ffff03;
+  r_[2] = (Load32Le(k + 6) >> 4) & 0x3ffc0ff;
+  r_[3] = (Load32Le(k + 9) >> 6) & 0x3f03fff;
+  r_[4] = (Load32Le(k + 12) >> 8) & 0x00fffff;
+  std::memset(h_, 0, sizeof(h_));
+  std::memcpy(s_, k + 16, 16);
+}
+
+void Poly1305::Block(const std::uint8_t* block, std::uint64_t hibit) {
+  const std::uint32_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3],
+                      r4 = r_[4];
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  h0 += Load32Le(block + 0) & 0x3ffffff;
+  h1 += (Load32Le(block + 3) >> 2) & 0x3ffffff;
+  h2 += (Load32Le(block + 6) >> 4) & 0x3ffffff;
+  h3 += (Load32Le(block + 9) >> 6) & 0x3ffffff;
+  h4 += (Load32Le(block + 12) >> 8) | static_cast<std::uint32_t>(hibit);
+
+  // h *= r (mod 2^130 - 5), 64-bit accumulators.
+  using u64 = std::uint64_t;
+  const u64 d0 = (u64)h0 * r0 + (u64)h1 * s4 + (u64)h2 * s3 + (u64)h3 * s2 +
+                 (u64)h4 * s1;
+  const u64 d1 = (u64)h0 * r1 + (u64)h1 * r0 + (u64)h2 * s4 + (u64)h3 * s3 +
+                 (u64)h4 * s2;
+  const u64 d2 = (u64)h0 * r2 + (u64)h1 * r1 + (u64)h2 * r0 + (u64)h3 * s4 +
+                 (u64)h4 * s3;
+  const u64 d3 = (u64)h0 * r3 + (u64)h1 * r2 + (u64)h2 * r1 + (u64)h3 * r0 +
+                 (u64)h4 * s4;
+  const u64 d4 = (u64)h0 * r4 + (u64)h1 * r3 + (u64)h2 * r2 + (u64)h3 * r1 +
+                 (u64)h4 * r0;
+
+  u64 c;
+  u64 t0 = d0;
+  c = t0 >> 26;
+  h0 = (std::uint32_t)t0 & 0x3ffffff;
+  u64 t1 = d1 + c;
+  c = t1 >> 26;
+  h1 = (std::uint32_t)t1 & 0x3ffffff;
+  u64 t2 = d2 + c;
+  c = t2 >> 26;
+  h2 = (std::uint32_t)t2 & 0x3ffffff;
+  u64 t3 = d3 + c;
+  c = t3 >> 26;
+  h3 = (std::uint32_t)t3 & 0x3ffffff;
+  u64 t4 = d4 + c;
+  c = t4 >> 26;
+  h4 = (std::uint32_t)t4 & 0x3ffffff;
+  h0 += (std::uint32_t)(c * 5);
+  h1 += h0 >> 26;
+  h0 &= 0x3ffffff;
+
+  h_[0] = h0;
+  h_[1] = h1;
+  h_[2] = h2;
+  h_[3] = h3;
+  h_[4] = h4;
+}
+
+void Poly1305::Update(ByteSpan data) {
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 16 - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 16) {
+      Block(buffer_, 1u << 24);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 16 <= data.size()) {
+    Block(data.data() + offset, 1u << 24);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_, data.data() + offset, buffer_len_);
+  }
+}
+
+Poly1305Tag Poly1305::Finish() {
+  if (buffer_len_ > 0) {
+    // Final partial block: append 0x01 and zero-pad; no high bit.
+    buffer_[buffer_len_] = 1;
+    for (std::size_t i = buffer_len_ + 1; i < 16; ++i) buffer_[i] = 0;
+    Block(buffer_, 0);
+    buffer_len_ = 0;
+  }
+
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  // Full carry.
+  std::uint32_t c;
+  c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // Compute h + (-p) and select it if h >= p.
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  std::uint32_t mask = (g4 >> 31) - 1;  // all-ones iff h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // Pack into 128 bits.
+  const std::uint32_t w0 = (h0 | (h1 << 26));
+  const std::uint32_t w1 = ((h1 >> 6) | (h2 << 20));
+  const std::uint32_t w2 = ((h2 >> 12) | (h3 << 14));
+  const std::uint32_t w3 = ((h3 >> 18) | (h4 << 8));
+
+  // tag = (h + s) mod 2^128.
+  std::uint64_t f;
+  std::uint32_t out[4];
+  f = (std::uint64_t)w0 + Load32Le(s_ + 0);
+  out[0] = (std::uint32_t)f;
+  f = (std::uint64_t)w1 + Load32Le(s_ + 4) + (f >> 32);
+  out[1] = (std::uint32_t)f;
+  f = (std::uint64_t)w2 + Load32Le(s_ + 8) + (f >> 32);
+  out[2] = (std::uint32_t)f;
+  f = (std::uint64_t)w3 + Load32Le(s_ + 12) + (f >> 32);
+  out[3] = (std::uint32_t)f;
+
+  Poly1305Tag tag;
+  for (int i = 0; i < 4; ++i) {
+    tag[4 * i + 0] = (std::uint8_t)(out[i]);
+    tag[4 * i + 1] = (std::uint8_t)(out[i] >> 8);
+    tag[4 * i + 2] = (std::uint8_t)(out[i] >> 16);
+    tag[4 * i + 3] = (std::uint8_t)(out[i] >> 24);
+  }
+  return tag;
+}
+
+Poly1305Tag Poly1305::Mac(const Poly1305Key& key, ByteSpan data) {
+  Poly1305 mac(key);
+  mac.Update(data);
+  return mac.Finish();
+}
+
+}  // namespace vegvisir::crypto

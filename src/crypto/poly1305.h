@@ -1,0 +1,42 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+//
+// Combined with ChaCha20 into the AEAD construction in aead.h, so
+// that encrypted transaction payloads (maritime use case, §II-C) are
+// tamper-evident as well as confidential. Validated against the RFC
+// test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+inline constexpr std::size_t kPoly1305KeySize = 32;
+inline constexpr std::size_t kPoly1305TagSize = 16;
+
+using Poly1305Key = std::array<std::uint8_t, kPoly1305KeySize>;
+using Poly1305Tag = std::array<std::uint8_t, kPoly1305TagSize>;
+
+class Poly1305 {
+ public:
+  explicit Poly1305(const Poly1305Key& key);
+
+  void Update(ByteSpan data);
+  Poly1305Tag Finish();
+
+  static Poly1305Tag Mac(const Poly1305Key& key, ByteSpan data);
+
+ private:
+  void Block(const std::uint8_t* block, std::uint64_t hibit);
+
+  // Accumulator and clamped r in radix-2^26 (5 limbs), s kept raw.
+  std::uint32_t r_[5];
+  std::uint32_t h_[5];
+  std::uint8_t s_[16];
+  std::uint8_t buffer_[16];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace vegvisir::crypto

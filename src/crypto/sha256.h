@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for block hashes, certificate fingerprints and HMAC. Validated
+// against the NIST test vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+// Incremental SHA-256. Streaming interface so large DAG segments can
+// be hashed without concatenating buffers.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(ByteSpan data);
+  // Finalizes and returns the digest. The object must be Reset()
+  // before further use.
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(ByteSpan data);
+
+ private:
+  void Compress(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_count_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+};
+
+}  // namespace vegvisir::crypto

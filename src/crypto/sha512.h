@@ -1,0 +1,38 @@
+// SHA-512 (FIPS 180-4), implemented from scratch.
+//
+// Required by Ed25519 (RFC 8032 uses SHA-512 for key expansion and the
+// challenge hash). Validated against NIST vectors in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vegvisir::crypto {
+
+inline constexpr std::size_t kSha512DigestSize = 64;
+
+using Sha512Digest = std::array<std::uint8_t, kSha512DigestSize>;
+
+class Sha512 {
+ public:
+  Sha512() { Reset(); }
+
+  void Reset();
+  void Update(ByteSpan data);
+  Sha512Digest Finish();
+
+  static Sha512Digest Hash(ByteSpan data);
+
+ private:
+  void Compress(const std::uint8_t* block);
+
+  std::uint64_t state_[8];
+  std::uint64_t bit_count_lo_;  // message length in bits (128-bit, low part)
+  std::uint64_t bit_count_hi_;
+  std::uint8_t buffer_[128];
+  std::size_t buffer_len_;
+};
+
+}  // namespace vegvisir::crypto

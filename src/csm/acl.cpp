@@ -1,0 +1,70 @@
+#include "csm/acl.h"
+
+namespace vegvisir::csm {
+
+AclPolicy AclPolicy::AllowAll() {
+  AclPolicy p;
+  p.Allow("*", "*");
+  return p;
+}
+
+AclPolicy& AclPolicy::Allow(const std::string& role, const std::string& op) {
+  grants_[role].insert(op);
+  return *this;
+}
+
+bool AclPolicy::IsAllowed(const std::string& role, const std::string& op) const {
+  for (const std::string& r : {role, std::string("*")}) {
+    const auto it = grants_.find(r);
+    if (it == grants_.end()) continue;
+    if (it->second.count(op) > 0 || it->second.count("*") > 0) return true;
+  }
+  return false;
+}
+
+std::string AclPolicy::Serialize() const {
+  std::string out;
+  for (const auto& [role, ops] : grants_) {
+    if (!out.empty()) out += ';';
+    out += role;
+    out += ':';
+    bool first = true;
+    for (const std::string& op : ops) {
+      if (!first) out += ',';
+      out += op;
+      first = false;
+    }
+  }
+  return out;
+}
+
+StatusOr<AclPolicy> AclPolicy::Parse(const std::string& text) {
+  AclPolicy policy;
+  if (text.empty()) return policy;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(';', pos), text.size());
+    const std::string entry = text.substr(pos, end - pos);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon == entry.size() - 1) {
+      return InvalidArgumentError("malformed acl entry '" + entry + "'");
+    }
+    const std::string role = entry.substr(0, colon);
+    std::size_t op_pos = colon + 1;
+    while (op_pos <= entry.size()) {
+      const std::size_t op_end = std::min(entry.find(',', op_pos),
+                                          entry.size());
+      const std::string op = entry.substr(op_pos, op_end - op_pos);
+      if (op.empty()) {
+        return InvalidArgumentError("empty op in acl entry '" + entry + "'");
+      }
+      policy.Allow(role, op);
+      op_pos = op_end + 1;
+    }
+    pos = end + 1;
+  }
+  return policy;
+}
+
+}  // namespace vegvisir::csm

@@ -1,0 +1,46 @@
+// Role-based access control for CRDT operations (paper §IV-E).
+//
+// "When creating a CRDT, one must specify which roles can perform
+// which actions." A policy maps roles to permitted operation names;
+// the wildcard role "*" grants an operation to every member. An empty
+// policy permits nothing except for the creator-independent default
+// AllowAll(), which callers use for open CRDTs.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace vegvisir::csm {
+
+class AclPolicy {
+ public:
+  AclPolicy() = default;
+
+  // A policy whose wildcard entry allows every operation ("*": "*").
+  static AclPolicy AllowAll();
+
+  // Grants `op` to `role`. `op` may be "*" (all operations of the
+  // CRDT); `role` may be "*" (all members).
+  AclPolicy& Allow(const std::string& role, const std::string& op);
+
+  bool IsAllowed(const std::string& role, const std::string& op) const;
+
+  bool empty() const { return grants_.empty(); }
+
+  // Canonical text form: "role1:opA,opB;role2:opC" with roles and ops
+  // sorted. Stable: Parse(Serialize(p)) == p. This is the form carried
+  // in __omega__ create transactions.
+  std::string Serialize() const;
+  static StatusOr<AclPolicy> Parse(const std::string& text);
+
+  bool operator==(const AclPolicy&) const = default;
+
+ private:
+  std::map<std::string, std::set<std::string>> grants_;
+};
+
+}  // namespace vegvisir::csm

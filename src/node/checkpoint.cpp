@@ -1,0 +1,53 @@
+#include "node/checkpoint.h"
+
+#include <fstream>
+
+#include "chain/store.h"
+
+namespace vegvisir::node {
+namespace {
+
+Status WriteFile(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return InternalError("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<Bytes> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return NotFoundError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) return InternalError("short read from " + path);
+  return data;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Node& node, const std::string& path_prefix) {
+  VEGVISIR_RETURN_IF_ERROR(
+      chain::SaveDagToFile(node.dag(), path_prefix + ".dag"));
+  return WriteFile(path_prefix + ".csm", node.state().SaveSnapshot());
+}
+
+StatusOr<std::unique_ptr<Node>> LoadCheckpoint(NodeConfig config,
+                                               crypto::KeyPair keys,
+                                               const std::string& path_prefix,
+                                               bool* used_snapshot) {
+  auto dag = chain::LoadDagFromFile(path_prefix + ".dag");
+  if (!dag.ok()) return dag.status();
+  // A missing/corrupted snapshot degrades to replay, not to failure.
+  Bytes snapshot;
+  if (auto snap = ReadFile(path_prefix + ".csm"); snap.ok()) {
+    snapshot = *std::move(snap);
+  }
+  return Node::Restore(std::move(config), std::move(keys), *std::move(dag),
+                       snapshot, used_snapshot);
+}
+
+}  // namespace vegvisir::node

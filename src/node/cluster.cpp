@@ -1,0 +1,94 @@
+#include "node/cluster.h"
+
+#include <algorithm>
+
+#include "crypto/drbg.h"
+
+namespace vegvisir::node {
+namespace {
+
+crypto::KeyPair KeysFor(std::uint64_t cluster_seed, int index) {
+  crypto::Drbg drbg(cluster_seed * 1'000'003ULL +
+                    static_cast<std::uint64_t>(index));
+  return crypto::KeyPair::Generate(drbg);
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
+    : config_(std::move(config)), owner_keys_(KeysFor(config_.seed, 0)) {
+  network_ = std::make_unique<sim::Network>(&simulator_, topology,
+                                            config_.link, config_.seed ^ 1);
+
+  const chain::Block genesis = chain::GenesisBuilder(config_.chain_name)
+                                   .WithTimestamp(1)
+                                   .Build("owner", owner_keys_);
+
+  const auto is_adversary = [&](int i) {
+    return std::find(config_.adversaries.begin(), config_.adversaries.end(),
+                     i) != config_.adversaries.end();
+  };
+
+  for (int i = 0; i < config_.node_count; ++i) {
+    NodeConfig cfg = config_.node_template;
+    cfg.user_id = (i == 0) ? "owner" : "user-" + std::to_string(i);
+    cfg.drop_foreign_blocks = is_adversary(i);
+    auto node = std::make_unique<Node>(cfg, genesis,
+                                       i == 0 ? owner_keys_
+                                              : KeysFor(config_.seed, i));
+    // All clocks follow simulated time, offset past the genesis
+    // timestamp so submissions are always valid.
+    node->SetClock([this] { return simulator_.now() + 1'000; });
+    meters_.push_back(std::make_unique<sim::EnergyMeter>(config_.energy));
+    node->AttachEnergyMeter(meters_.back().get());
+    if (!is_adversary(i)) honest_.push_back(i);
+    nodes_.push_back(std::move(node));
+  }
+
+  // The owner enrols every member up front; the enrolment *blocks*
+  // still have to reach the others through gossip.
+  for (int i = 1; i < config_.node_count; ++i) {
+    const chain::Certificate cert = chain::IssueCertificate(
+        nodes_[static_cast<std::size_t>(i)]->user_id(),
+        KeysFor(config_.seed, i).public_key(), config_.member_role,
+        owner_keys_);
+    nodes_[0]->EnrollUser(cert);
+  }
+
+  for (int i = 0; i < config_.node_count; ++i) {
+    GossipConfig gcfg = config_.gossip;
+    if (is_adversary(i)) gcfg.enabled = false;  // refuses to propagate
+    auto engine = std::make_unique<GossipEngine>(
+        nodes_[static_cast<std::size_t>(i)].get(), &simulator_,
+        network_.get(), i, gcfg,
+        config_.seed * 7'919ULL + static_cast<std::uint64_t>(i));
+    engine->Start(meters_[static_cast<std::size_t>(i)].get());
+    gossips_.push_back(std::move(engine));
+  }
+}
+
+void Cluster::RunFor(sim::TimeMs duration) {
+  simulator_.RunUntil(simulator_.now() + duration);
+}
+
+int Cluster::CountHaving(const chain::BlockHash& h) const {
+  int count = 0;
+  for (const auto& node : nodes_) {
+    if (node->dag().Contains(h)) ++count;
+  }
+  return count;
+}
+
+bool Cluster::Converged() const {
+  if (honest_.empty()) return true;
+  const Bytes reference =
+      nodes_[static_cast<std::size_t>(honest_[0])]->Fingerprint();
+  for (int i : honest_) {
+    if (nodes_[static_cast<std::size_t>(i)]->Fingerprint() != reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vegvisir::node

@@ -1,0 +1,77 @@
+// A ready-made simulated Vegvisir deployment.
+//
+// Wires N nodes (node 0 is the chain owner/CA, the rest are enrolled
+// members), their gossip engines, energy meters and a shared
+// simulated radio network over a caller-supplied topology. Tests,
+// benchmarks and the examples all build scenarios on this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "node/gossip.h"
+#include "node/node.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace vegvisir::node {
+
+struct ClusterConfig {
+  int node_count = 8;
+  std::string chain_name = "cluster-chain";
+  std::uint64_t seed = 42;
+  std::string member_role = "member";
+  NodeConfig node_template;       // recon mode, validation params, ...
+  GossipConfig gossip;
+  sim::LinkParams link;
+  sim::EnergyParams energy;
+  // Indexes of adversarial nodes: they drop foreign blocks and do not
+  // initiate gossip (paper §IV-B's malicious peers).
+  std::vector<int> adversaries;
+};
+
+class Cluster {
+ public:
+  // `topology` must outlive the cluster.
+  Cluster(ClusterConfig config, const sim::Topology* topology);
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Network& network() { return *network_; }
+  Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  GossipEngine& gossip(int i) {
+    return *gossips_[static_cast<std::size_t>(i)];
+  }
+  sim::EnergyMeter& meter(int i) {
+    return *meters_[static_cast<std::size_t>(i)];
+  }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const std::string& user_of(int i) const {
+    return nodes_[static_cast<std::size_t>(i)]->user_id();
+  }
+
+  // Advances simulated time by `duration` (processing all events).
+  void RunFor(sim::TimeMs duration);
+
+  // How many nodes hold the given block.
+  int CountHaving(const chain::BlockHash& h) const;
+
+  // True iff every non-adversarial node has an identical fingerprint.
+  bool Converged() const;
+
+  // The honest nodes' indexes.
+  const std::vector<int>& honest() const { return honest_; }
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator simulator_;
+  std::unique_ptr<sim::Network> network_;
+  crypto::KeyPair owner_keys_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<GossipEngine>> gossips_;
+  std::vector<std::unique_ptr<sim::EnergyMeter>> meters_;
+  std::vector<int> honest_;
+};
+
+}  // namespace vegvisir::node

@@ -1,0 +1,147 @@
+#include "node/gossip.h"
+
+#include <algorithm>
+
+#include "serial/codec.h"
+
+namespace vegvisir::node {
+namespace {
+
+constexpr std::uint8_t kToResponder = 0;
+constexpr std::uint8_t kToInitiator = 1;
+
+}  // namespace
+
+GossipEngine::GossipEngine(Node* node, sim::Simulator* simulator,
+                           sim::Network* network, sim::NodeId id,
+                           GossipConfig config, std::uint64_t seed)
+    : node_(node),
+      simulator_(simulator),
+      network_(network),
+      id_(id),
+      config_(config),
+      rng_(seed),
+      responder_(node, node->recon_config()) {}
+
+void GossipEngine::Start(sim::EnergyMeter* meter) {
+  running_ = true;
+  network_->Register(
+      id_, [this](sim::NodeId from, const Bytes& env) { OnMessage(from, env); },
+      meter);
+  const sim::TimeMs first =
+      config_.period_ms + rng_.NextBelow(config_.jitter_ms + 1);
+  simulator_->ScheduleAfter(first, [this] { Tick(); });
+}
+
+void GossipEngine::Tick() {
+  if (!running_) return;
+  stats_.ticks += 1;
+  ExpireSessions();
+
+  if (config_.enabled) {
+    const std::vector<sim::NodeId> neighbors = network_->NeighborsOf(id_);
+    if (!neighbors.empty()) {
+      const sim::NodeId peer =
+          neighbors[rng_.NextBelow(neighbors.size())];
+      const std::uint64_t session_id =
+          (static_cast<std::uint64_t>(id_) << 40) | next_session_id_++;
+      recon::ReconConfig session_cfg = node_->recon_config();
+      if (const auto it = resume_level_.find(peer);
+          it != resume_level_.end()) {
+        session_cfg.start_level = it->second;
+      }
+      ActiveSession active;
+      active.session = std::make_unique<recon::InitiatorSession>(
+          node_, session_cfg);
+      active.peer = peer;
+      active.last_activity_ms = simulator_->now();
+      const Bytes first = active.session->Start();
+      sessions_.emplace(session_id, std::move(active));
+      stats_.sessions_started += 1;
+      SendEnvelope(peer, kToResponder, session_id, first);
+    }
+  }
+
+  const sim::TimeMs next =
+      config_.period_ms + rng_.NextBelow(config_.jitter_ms + 1);
+  simulator_->ScheduleAfter(next, [this] { Tick(); });
+}
+
+void GossipEngine::OnMessage(sim::NodeId from, const Bytes& envelope) {
+  serial::Reader r(envelope);
+  std::uint8_t direction;
+  std::uint64_t session_id;
+  if (!r.ReadU8(&direction).ok() || !r.ReadU64(&session_id).ok()) return;
+  const Bytes payload(envelope.begin() + 9, envelope.end());
+
+  if (direction == kToResponder) {
+    std::vector<Bytes> replies;
+    if (!responder_.OnMessage(payload, &replies).ok()) return;
+    for (const Bytes& reply : replies) {
+      SendEnvelope(from, kToInitiator, session_id, reply);
+    }
+    return;
+  }
+
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;  // expired or unknown session
+  it->second.last_activity_ms = simulator_->now();
+  std::vector<Bytes> replies;
+  const Status s = it->second.session->OnMessage(payload, &replies);
+  // Record escalation progress eagerly: if the next message is lost,
+  // the follow-up session resumes from here instead of level 1.
+  resume_level_[from] =
+      std::max(resume_level_[from], it->second.session->level());
+  for (const Bytes& reply : replies) {
+    SendEnvelope(from, kToResponder, session_id, reply);
+  }
+  if (!s.ok() || it->second.session->state() != recon::SessionState::kRunning) {
+    FinishSession(session_id,
+                  it->second.session->state() == recon::SessionState::kFailed);
+  }
+}
+
+void GossipEngine::SendEnvelope(sim::NodeId to, std::uint8_t direction,
+                                std::uint64_t session_id,
+                                const Bytes& payload) {
+  serial::Writer w;
+  w.WriteU8(direction);
+  w.WriteU64(session_id);
+  Bytes env = w.Take();
+  Append(&env, payload);
+  network_->Send(id_, to, std::move(env));
+}
+
+void GossipEngine::FinishSession(std::uint64_t session_id, bool failed) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  stats_.initiator.Accumulate(it->second.session->stats());
+  if (failed) {
+    stats_.sessions_failed += 1;
+    resume_level_[it->second.peer] = std::max(
+        resume_level_[it->second.peer], it->second.session->level());
+  } else {
+    stats_.sessions_completed += 1;
+    resume_level_.erase(it->second.peer);
+  }
+  sessions_.erase(it);
+}
+
+void GossipEngine::ExpireSessions() {
+  const sim::TimeMs now = simulator_->now();
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_activity_ms > config_.session_timeout_ms) {
+      stats_.sessions_timed_out += 1;
+      stats_.initiator.Accumulate(it->second.session->stats());
+      // Resume the next session toward this peer where this one
+      // stalled (lost message mid-escalation).
+      resume_level_[it->second.peer] = std::max(
+          resume_level_[it->second.peer], it->second.session->level());
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace vegvisir::node

@@ -1,0 +1,94 @@
+// The opportunistic gossip engine (paper §IV-G).
+//
+// "Periodically, a node picks a physical neighbor at random (if it
+// has any)" and runs a reconciliation session against it. This engine
+// bridges a Node to the simulated radio network: it fires a periodic
+// (jittered) tick, starts initiator sessions toward random neighbours
+// and demultiplexes incoming envelopes to the right session.
+//
+// Envelope format on the wire:
+//   u8  direction (0: initiator->responder, 1: responder->initiator)
+//   u64 session id (unique per initiator engine)
+//   ... reconciliation message bytes
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "node/node.h"
+#include "recon/session.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace vegvisir::node {
+
+struct GossipConfig {
+  sim::TimeMs period_ms = 1'000;
+  sim::TimeMs jitter_ms = 250;
+  // Sessions idle longer than this are abandoned (lost messages).
+  sim::TimeMs session_timeout_ms = 30'000;
+  bool enabled = true;  // adversaries may refuse to initiate
+};
+
+struct GossipStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_failed = 0;
+  std::uint64_t sessions_timed_out = 0;
+  recon::SessionStats initiator;  // accumulated over finished sessions
+};
+
+class GossipEngine {
+ public:
+  GossipEngine(Node* node, sim::Simulator* simulator, sim::Network* network,
+               sim::NodeId id, GossipConfig config, std::uint64_t seed);
+
+  // Registers the network handler and schedules the first tick.
+  // `meter` (optional) charges radio energy for this node.
+  void Start(sim::EnergyMeter* meter = nullptr);
+
+  // Stops initiating (in-flight sessions keep draining).
+  void Stop() { running_ = false; }
+
+  const GossipStats& stats() const { return stats_; }
+  const recon::SessionStats& responder_stats() const {
+    return responder_.stats();
+  }
+  sim::NodeId id() const { return id_; }
+
+ private:
+  struct ActiveSession {
+    std::unique_ptr<recon::InitiatorSession> session;
+    sim::NodeId peer;
+    sim::TimeMs last_activity_ms;
+  };
+
+  void Tick();
+  void OnMessage(sim::NodeId from, const Bytes& envelope);
+  void SendEnvelope(sim::NodeId to, std::uint8_t direction,
+                    std::uint64_t session_id, const Bytes& payload);
+  void FinishSession(std::uint64_t session_id, bool failed);
+  void ExpireSessions();
+
+  Node* node_;
+  sim::Simulator* simulator_;
+  sim::Network* network_;
+  sim::NodeId id_;
+  GossipConfig config_;
+  Rng rng_;
+  bool running_ = false;
+
+  std::uint64_t next_session_id_ = 1;
+  std::map<std::uint64_t, ActiveSession> sessions_;
+  // Where a failed/timed-out catch-up left off, per peer: the next
+  // session toward that peer resumes at this frontier level, so deep
+  // catch-ups make progress across sessions even on lossy links.
+  std::map<sim::NodeId, std::uint32_t> resume_level_;
+  recon::ResponderSession responder_;
+  GossipStats stats_;
+};
+
+}  // namespace vegvisir::node

@@ -1,0 +1,251 @@
+#include "node/node.h"
+
+#include <algorithm>
+
+#include "serial/codec.h"
+
+namespace vegvisir::node {
+
+Node::Node(NodeConfig config, chain::Block genesis, crypto::KeyPair keys)
+    : config_(std::move(config)),
+      keys_(std::move(keys)),
+      dag_(genesis),
+      csm_(config_.csm) {
+  clock_ = [this] { return manual_time_ms_; };
+  // The genesis block bootstraps the CA and the membership set.
+  csm_.ApplyBlock(*dag_.Find(dag_.genesis_hash()));
+}
+
+StatusOr<std::unique_ptr<Node>> Node::Restore(NodeConfig config,
+                                              crypto::KeyPair keys,
+                                              chain::Dag dag,
+                                              ByteSpan csm_snapshot,
+                                              bool* used_snapshot) {
+  const chain::Block* genesis = dag.Find(dag.genesis_hash());
+  if (genesis == nullptr) {
+    return FailedPreconditionError("DAG genesis body missing");
+  }
+  auto node = std::make_unique<Node>(std::move(config), *genesis,
+                                     std::move(keys));
+
+  // Try the snapshot first: it must cover exactly the DAG's blocks.
+  bool snapshot_ok = false;
+  if (!csm_snapshot.empty()) {
+    csm::StateMachine candidate(node->config_.csm);
+    if (candidate.LoadSnapshot(csm_snapshot).ok() &&
+        candidate.AppliedBlockCount() == dag.Size()) {
+      snapshot_ok = true;
+      for (const chain::BlockHash& h : dag.TopologicalOrder()) {
+        if (!candidate.HasApplied(h)) {
+          snapshot_ok = false;
+          break;
+        }
+      }
+      if (snapshot_ok) node->csm_ = std::move(candidate);
+    }
+  }
+
+  if (!snapshot_ok) {
+    // Deterministic full replay; every body must be present.
+    csm::StateMachine fresh(node->config_.csm);
+    for (const chain::BlockHash& h : dag.TopologicalOrder()) {
+      const chain::Block* block = dag.Find(h);
+      if (block == nullptr) {
+        return FailedPreconditionError(
+            "cannot replay: block body evicted and no usable snapshot; "
+            "refetch bodies from the support chain first");
+      }
+      fresh.ApplyBlock(*block);
+    }
+    node->csm_ = std::move(fresh);
+  }
+
+  node->dag_ = std::move(dag);
+  if (used_snapshot != nullptr) *used_snapshot = snapshot_ok;
+  return node;
+}
+
+void Node::SetClock(std::function<std::uint64_t()> clock) {
+  clock_ = std::move(clock);
+}
+
+std::uint64_t Node::NowMs() const { return clock_(); }
+
+Status Node::PrecheckTransactions(
+    const std::vector<chain::Transaction>& txns) const {
+  if (txns.empty()) return Status::Ok();  // witness blocks are legal
+  for (const chain::Transaction& tx : txns) {
+    if (tx.crdt_name.rfind("__", 0) == 0) continue;  // CSM-validated
+    const crdt::Crdt* crdt = csm_.FindCrdt(tx.crdt_name);
+    if (crdt == nullptr) {
+      return NotFoundError("CRDT '" + tx.crdt_name +
+                           "' does not exist locally; create it first");
+    }
+    VEGVISIR_RETURN_IF_ERROR(crdt->CheckOp(tx.op, tx.args));
+    const csm::AclPolicy* policy = csm_.PolicyOf(tx.crdt_name);
+    const std::string role = csm_.membership().RoleOf(config_.user_id);
+    if (policy != nullptr && !policy->IsAllowed(role, tx.op)) {
+      return PermissionDeniedError("role '" + role + "' may not '" + tx.op +
+                                   "' on '" + tx.crdt_name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<chain::BlockHash> Node::Submit(
+    std::vector<chain::Transaction> txns,
+    std::optional<chain::GeoLocation> location) {
+  VEGVISIR_RETURN_IF_ERROR(PrecheckTransactions(txns));
+
+  chain::BlockHeader header;
+  header.user_id = config_.user_id;
+  header.location = location;
+  header.parents = dag_.Frontier();
+  // Strictly after every parent, and never behind our own clock.
+  header.timestamp_ms =
+      std::max(NowMs(), dag_.MaxParentTimestamp(header.parents) + 1);
+
+  const chain::Block block =
+      chain::Block::Create(std::move(header), std::move(txns), keys_);
+  if (meter_ != nullptr) {
+    meter_->AddSign();
+    meter_->AddHash(block.EncodedSize());
+  }
+
+  const chain::BlockVerdict verdict = AdmitBlock(block);
+  if (verdict != chain::BlockVerdict::kValid) {
+    // Most common cause: this node's certificate is not on the chain
+    // yet (the owner must enrol it first).
+    return FailedPreconditionError(
+        "own block failed validation (is this node enrolled?)");
+  }
+  stats_.blocks_created += 1;
+  return block.hash();
+}
+
+StatusOr<chain::BlockHash> Node::CreateCrdt(const std::string& name,
+                                            crdt::CrdtType type,
+                                            crdt::ValueType element_type,
+                                            const csm::AclPolicy& policy) {
+  return Submit({csm::StateMachine::MakeCreateTx(name, type, element_type,
+                                                 policy)});
+}
+
+StatusOr<chain::BlockHash> Node::AppendOp(const std::string& crdt_name,
+                                          const std::string& op,
+                                          std::vector<crdt::Value> args) {
+  chain::Transaction tx;
+  tx.crdt_name = crdt_name;
+  tx.op = op;
+  tx.args = std::move(args);
+  return Submit({std::move(tx)});
+}
+
+StatusOr<chain::BlockHash> Node::EnrollUser(const chain::Certificate& cert) {
+  return Submit({csm::StateMachine::MakeAddUserTx(cert)});
+}
+
+StatusOr<chain::BlockHash> Node::RevokeUser(const chain::Certificate& cert) {
+  return Submit({csm::StateMachine::MakeRevokeUserTx(cert)});
+}
+
+StatusOr<chain::BlockHash> Node::AddWitnessBlock() { return Submit({}); }
+
+chain::BlockVerdict Node::AdmitBlock(const chain::Block& block) {
+  const chain::ValidationResult result = chain::ValidateBlock(
+      block, dag_, csm_.membership(), NowMs(), config_.validation);
+  if (meter_ != nullptr) {
+    meter_->AddVerify();
+    meter_->AddHash(block.EncodedSize());
+  }
+  switch (result.verdict) {
+    case chain::BlockVerdict::kValid: {
+      const Status s = dag_.Insert(block);
+      if (!s.ok()) return chain::BlockVerdict::kReject;  // cannot happen
+      csm_.ApplyBlock(block);
+      return chain::BlockVerdict::kValid;
+    }
+    case chain::BlockVerdict::kRetryLater: {
+      if (quarantine_.size() >= config_.quarantine_cap) {
+        quarantine_.erase(quarantine_.begin());
+      }
+      if (quarantine_.emplace(block.hash(), block).second) {
+        stats_.blocks_quarantined += 1;
+      }
+      return chain::BlockVerdict::kRetryLater;
+    }
+    case chain::BlockVerdict::kReject:
+      stats_.blocks_rejected += 1;
+      return chain::BlockVerdict::kReject;
+  }
+  return chain::BlockVerdict::kReject;
+}
+
+chain::BlockVerdict Node::OfferBlock(const chain::Block& block) {
+  if (dag_.Contains(block.hash())) return chain::BlockVerdict::kValid;
+
+  if (config_.drop_foreign_blocks &&
+      block.header().user_id != config_.user_id) {
+    stats_.foreign_dropped += 1;
+    // The adversary pretends all is well while discarding the block.
+    return chain::BlockVerdict::kValid;
+  }
+
+  const chain::BlockVerdict verdict = AdmitBlock(block);
+  if (verdict == chain::BlockVerdict::kValid) {
+    stats_.blocks_accepted += 1;
+    // Newly admitted state may unblock quarantined blocks (their
+    // parents arrived, or their creator's enrolment did).
+    RetryQuarantine();
+  }
+  return verdict;
+}
+
+void Node::RetryQuarantine() {
+  bool progress = true;
+  while (progress && !quarantine_.empty()) {
+    progress = false;
+    for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+      const chain::Block& block = it->second;
+      bool parents_known = true;
+      for (const chain::BlockHash& p : block.header().parents) {
+        if (!dag_.Contains(p)) {
+          parents_known = false;
+          break;
+        }
+      }
+      if (!parents_known) {
+        ++it;
+        continue;
+      }
+      const chain::ValidationResult result = chain::ValidateBlock(
+          block, dag_, csm_.membership(), NowMs(), config_.validation);
+      if (result.verdict == chain::BlockVerdict::kValid) {
+        if (dag_.Insert(block).ok()) {
+          csm_.ApplyBlock(block);
+          stats_.blocks_accepted += 1;
+        }
+        it = quarantine_.erase(it);
+        progress = true;
+      } else if (result.verdict == chain::BlockVerdict::kReject) {
+        stats_.blocks_rejected += 1;
+        it = quarantine_.erase(it);
+        progress = true;
+      } else {
+        ++it;  // still undecidable; keep waiting
+      }
+    }
+  }
+}
+
+Bytes Node::Fingerprint() const {
+  serial::Writer w;
+  w.WriteString("node");
+  const auto order = dag_.TopologicalOrder();
+  w.WriteVarint(order.size());
+  for (const chain::BlockHash& h : order) w.WriteFixed(h);
+  w.WriteBytes(csm_.StateFingerprint());
+  return w.Take();
+}
+
+}  // namespace vegvisir::node

@@ -1,0 +1,166 @@
+// The Vegvisir node: the library's primary public API.
+//
+// A Node owns the two components the paper separates (§IV-E): the
+// blockchain component (DAG storage + block validation) and the CRDT
+// state machine. It implements recon::ReconHost so reconciliation
+// sessions can pull from and merge into it, and it maintains the
+// quarantine that makes replicas converge regardless of arrival
+// order (blocks whose creator or timestamp we cannot judge *yet* are
+// parked and retried, never silently lost).
+//
+// Typical use:
+//
+//   auto genesis = chain::GenesisBuilder("demo").Build("owner", owner_keys);
+//   node::Node owner(cfg_owner, genesis, owner_keys);
+//   owner.EnrollUser(medic_cert);                       // via blocks
+//   owner.CreateCrdt("H", crdt::CrdtType::kGSet,
+//                    crdt::ValueType::kStr, policy);
+//   medic.AppendOp("H", "add", {Value::OfStr("record-123")});
+//   // gossip (node/gossip.h) spreads blocks opportunistically.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/dag.h"
+#include "chain/genesis.h"
+#include "chain/validation.h"
+#include "crypto/ed25519.h"
+#include "csm/state_machine.h"
+#include "recon/session.h"
+#include "sim/energy.h"
+#include "util/status.h"
+
+namespace vegvisir::node {
+
+struct NodeConfig {
+  std::string user_id;
+  recon::ReconConfig recon;
+  chain::ValidationParams validation;
+  csm::StateMachineConfig csm;
+  // Quarantined-block cap; beyond it the oldest entries are dropped
+  // (they will be re-fetched by a later reconciliation).
+  std::size_t quarantine_cap = 4096;
+  // Adversarial behaviour (paper §IV-B): discard every block created
+  // by others — the node neither stores nor propagates foreign
+  // blocks, though it still creates and serves its own.
+  bool drop_foreign_blocks = false;
+};
+
+struct NodeStats {
+  std::uint64_t blocks_created = 0;
+  std::uint64_t blocks_accepted = 0;   // foreign blocks inserted
+  std::uint64_t blocks_rejected = 0;   // deterministically invalid
+  std::uint64_t blocks_quarantined = 0;
+  std::uint64_t foreign_dropped = 0;   // adversarial drops
+};
+
+class Node final : public recon::ReconHost {
+ public:
+  // `genesis` must be the chain's genesis block; `keys` must match
+  // the certificate this node's user id is (or will be) enrolled with.
+  Node(NodeConfig config, chain::Block genesis, crypto::KeyPair keys);
+
+  // Restores a node from persisted parts (see node/checkpoint.h).
+  // Adopts `csm_snapshot` if it exactly matches the DAG's block set;
+  // otherwise replays the DAG deterministically — which requires all
+  // block bodies to be present (evicted bodies must be re-fetched
+  // from a superpeer first). `used_snapshot` (optional) reports which
+  // path was taken.
+  static StatusOr<std::unique_ptr<Node>> Restore(NodeConfig config,
+                                                 crypto::KeyPair keys,
+                                                 chain::Dag dag,
+                                                 ByteSpan csm_snapshot,
+                                                 bool* used_snapshot = nullptr);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& user_id() const { return config_.user_id; }
+  const recon::ReconConfig& recon_config() const { return config_.recon; }
+
+  // ---- time --------------------------------------------------------
+  // The node's local clock, used for block timestamps and the
+  // future-timestamp check. Defaults to a manual clock at 0.
+  void SetClock(std::function<std::uint64_t()> clock);
+  void SetTime(std::uint64_t now_ms) { manual_time_ms_ = now_ms; }
+  std::uint64_t NowMs() const;
+
+  // ---- creating blocks ---------------------------------------------
+  // Packs `txns` into a new block whose parents are every current
+  // frontier block (the paper's branch-reining rule), signs it,
+  // validates it locally, inserts it and applies it. Transactions
+  // are pre-checked against the local state where possible.
+  StatusOr<chain::BlockHash> Submit(
+      std::vector<chain::Transaction> txns,
+      std::optional<chain::GeoLocation> location = std::nullopt);
+
+  // Convenience wrappers around Submit:
+  StatusOr<chain::BlockHash> CreateCrdt(const std::string& name,
+                                        crdt::CrdtType type,
+                                        crdt::ValueType element_type,
+                                        const csm::AclPolicy& policy);
+  StatusOr<chain::BlockHash> AppendOp(const std::string& crdt_name,
+                                      const std::string& op,
+                                      std::vector<crdt::Value> args);
+  StatusOr<chain::BlockHash> EnrollUser(const chain::Certificate& cert);
+  StatusOr<chain::BlockHash> RevokeUser(const chain::Certificate& cert);
+  // An empty block acknowledging everything currently known — the
+  // proof-of-witness signal (§IV-H).
+  StatusOr<chain::BlockHash> AddWitnessBlock();
+
+  // ---- ReconHost -----------------------------------------------------
+  const chain::Dag& dag() const override { return dag_; }
+  bool HasBlock(const chain::BlockHash& h) const override {
+    return dag_.Contains(h) || quarantine_.count(h) > 0;
+  }
+  // Mutable access for the storage-offload layer (support::
+  // StorageManager evicts and restores block bodies); application
+  // code should not mutate the DAG directly.
+  chain::Dag* mutable_dag() { return &dag_; }
+  chain::BlockVerdict OfferBlock(const chain::Block& block) override;
+
+  // ---- state ---------------------------------------------------------
+  const csm::StateMachine& state() const { return csm_; }
+
+  // Proof-of-witness query: has `h` been acknowledged (via descendant
+  // blocks) by at least k distinct other users?
+  bool IsPersistent(const chain::BlockHash& h, std::size_t k) const {
+    return dag_.HasProofOfWitness(h, k);
+  }
+
+  // Replica-convergence digest: DAG content + CSM state.
+  Bytes Fingerprint() const;
+
+  std::size_t QuarantineSize() const { return quarantine_.size(); }
+  // Re-validates quarantined blocks (called automatically after every
+  // accepted block; exposed for clock advances).
+  void RetryQuarantine();
+
+  const NodeStats& stats() const { return stats_; }
+
+  // Optional energy accounting (simulation): charges signing,
+  // verification and hashing to the meter.
+  void AttachEnergyMeter(sim::EnergyMeter* meter) { meter_ = meter; }
+
+ private:
+  // Validates + inserts + applies; assumes parents are present.
+  chain::BlockVerdict AdmitBlock(const chain::Block& block);
+  Status PrecheckTransactions(const std::vector<chain::Transaction>& txns) const;
+
+  NodeConfig config_;
+  crypto::KeyPair keys_;
+  chain::Dag dag_;
+  csm::StateMachine csm_;
+  std::function<std::uint64_t()> clock_;
+  std::uint64_t manual_time_ms_ = 0;
+  std::map<chain::BlockHash, chain::Block> quarantine_;
+  NodeStats stats_;
+  sim::EnergyMeter* meter_ = nullptr;
+};
+
+}  // namespace vegvisir::node

@@ -1,0 +1,153 @@
+#include "recon/messages.h"
+
+namespace vegvisir::recon {
+namespace {
+
+void WriteHashes(serial::Writer* w, const std::vector<chain::BlockHash>& hs) {
+  w->WriteVarint(hs.size());
+  for (const chain::BlockHash& h : hs) w->WriteFixed(h);
+}
+
+Status ReadHashes(serial::Reader* r, std::vector<chain::BlockHash>* out) {
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count * sizeof(chain::BlockHash) > r->remaining()) {
+    return InvalidArgumentError("hash count exceeds input");
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    chain::BlockHash h;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadFixed(&h));
+    out->push_back(h);
+  }
+  return Status::Ok();
+}
+
+void WriteBlockList(serial::Writer* w, const std::vector<Bytes>& blocks) {
+  w->WriteVarint(blocks.size());
+  for (const Bytes& b : blocks) w->WriteBytes(b);
+}
+
+Status ReadBlockList(serial::Reader* r, std::vector<Bytes>* out) {
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  if (count > r->remaining()) {
+    return InvalidArgumentError("block count exceeds input");
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Bytes b;
+    VEGVISIR_RETURN_IF_ERROR(r->ReadBytes(&b));
+    out->push_back(std::move(b));
+  }
+  return Status::Ok();
+}
+
+Status ExpectType(serial::Reader* r, MessageType expected) {
+  std::uint8_t tag;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadU8(&tag));
+  if (tag != static_cast<std::uint8_t>(expected)) {
+    return InvalidArgumentError("unexpected message type");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes EncodeMessage(const FrontierRequest& m) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kFrontierRequest));
+  w.WriteU32(m.level);
+  w.WriteBool(m.hashes_only);
+  w.WriteFixed(m.genesis);
+  w.WriteBytes(m.bloom);
+  w.WriteFixed(m.frontier_digest);
+  return w.Take();
+}
+
+Bytes EncodeMessage(const FrontierResponse& m) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kFrontierResponse));
+  w.WriteU32(m.level);
+  w.WriteFixed(m.genesis);
+  WriteHashes(&w, m.hashes);
+  WriteBlockList(&w, m.blocks);
+  return w.Take();
+}
+
+Bytes EncodeMessage(const BlockRequest& m) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kBlockRequest));
+  WriteHashes(&w, m.hashes);
+  return w.Take();
+}
+
+Bytes EncodeMessage(const BlockResponse& m) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kBlockResponse));
+  WriteBlockList(&w, m.blocks);
+  return w.Take();
+}
+
+Bytes EncodeMessage(const PushBlocks& m) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kPushBlocks));
+  WriteBlockList(&w, m.blocks);
+  return w.Take();
+}
+
+StatusOr<MessageType> PeekType(ByteSpan data) {
+  if (data.empty()) return InvalidArgumentError("empty message");
+  const std::uint8_t tag = data[0];
+  if (tag < static_cast<std::uint8_t>(MessageType::kFrontierRequest) ||
+      tag > static_cast<std::uint8_t>(MessageType::kPushBlocks)) {
+    return InvalidArgumentError("unknown message type");
+  }
+  return static_cast<MessageType>(tag);
+}
+
+Status DecodeMessage(ByteSpan data, FrontierRequest* out) {
+  serial::Reader r(data);
+  VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kFrontierRequest));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU32(&out->level));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadBool(&out->hashes_only));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&out->genesis));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadBytes(&out->bloom));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&out->frontier_digest));
+  return r.ExpectEnd();
+}
+
+Status DecodeMessage(ByteSpan data, FrontierResponse* out) {
+  serial::Reader r(data);
+  VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kFrontierResponse));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU32(&out->level));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&out->genesis));
+  VEGVISIR_RETURN_IF_ERROR(ReadHashes(&r, &out->hashes));
+  VEGVISIR_RETURN_IF_ERROR(ReadBlockList(&r, &out->blocks));
+  return r.ExpectEnd();
+}
+
+Status DecodeMessage(ByteSpan data, BlockRequest* out) {
+  serial::Reader r(data);
+  VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kBlockRequest));
+  VEGVISIR_RETURN_IF_ERROR(ReadHashes(&r, &out->hashes));
+  return r.ExpectEnd();
+}
+
+Status DecodeMessage(ByteSpan data, BlockResponse* out) {
+  serial::Reader r(data);
+  VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kBlockResponse));
+  VEGVISIR_RETURN_IF_ERROR(ReadBlockList(&r, &out->blocks));
+  return r.ExpectEnd();
+}
+
+Status DecodeMessage(ByteSpan data, PushBlocks* out) {
+  serial::Reader r(data);
+  VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kPushBlocks));
+  VEGVISIR_RETURN_IF_ERROR(ReadBlockList(&r, &out->blocks));
+  return r.ExpectEnd();
+}
+
+}  // namespace vegvisir::recon

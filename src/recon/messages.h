@@ -1,0 +1,89 @@
+// Wire messages for opportunistic DAG reconciliation (paper §IV-G).
+//
+// The exchange is initiator-driven:
+//   FrontierRequest(level n)  ->
+//                             <-  FrontierResponse(level n, blocks)
+// escalating n until the initiator can bridge the gap (Algorithm 1).
+//
+// In hash-first mode (the paper's "more efficient reconciliation
+// algorithms" future work, evaluated as ablation E10) the response
+// carries hashes only and the initiator fetches just the bodies it is
+// missing with BlockRequest/BlockResponse.
+//
+// PushBlocks is the optional anti-entropy extension: after catching
+// up, the initiator pushes the blocks the responder provably lacks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/types.h"
+#include "serial/codec.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace vegvisir::recon {
+
+enum class MessageType : std::uint8_t {
+  kFrontierRequest = 1,
+  kFrontierResponse = 2,
+  kBlockRequest = 3,
+  kBlockResponse = 4,
+  kPushBlocks = 5,
+};
+
+struct FrontierRequest {
+  std::uint32_t level = 1;
+  bool hashes_only = false;
+  // Sanity check: both sides must be on the same chain.
+  chain::BlockHash genesis{};
+  // Bloom mode (summary reconciliation): a serialized BloomFilter over
+  // the initiator's block hashes; the responder sends the blocks that
+  // are probably missing, usually completing in one round. Empty when
+  // unused.
+  Bytes bloom;
+  // SHA-256 over the initiator's sorted frontier. If it matches the
+  // responder's, the replicas are identical and the response carries
+  // no bodies — the paper's "identical frontier sets" early exit, for
+  // 32 bytes per idle gossip tick.
+  chain::BlockHash frontier_digest{};
+};
+
+struct FrontierResponse {
+  std::uint32_t level = 1;
+  chain::BlockHash genesis{};
+  // Hashes of the level-n frontier set (always present).
+  std::vector<chain::BlockHash> hashes;
+  // Serialized blocks; empty when the request was hashes_only.
+  std::vector<Bytes> blocks;
+};
+
+struct BlockRequest {
+  std::vector<chain::BlockHash> hashes;
+};
+
+struct BlockResponse {
+  std::vector<Bytes> blocks;
+};
+
+struct PushBlocks {
+  std::vector<Bytes> blocks;
+};
+
+// Envelope encoding: a type byte followed by the payload.
+Bytes EncodeMessage(const FrontierRequest& m);
+Bytes EncodeMessage(const FrontierResponse& m);
+Bytes EncodeMessage(const BlockRequest& m);
+Bytes EncodeMessage(const BlockResponse& m);
+Bytes EncodeMessage(const PushBlocks& m);
+
+// Peeks the envelope type. Fails on empty/unknown input.
+StatusOr<MessageType> PeekType(ByteSpan data);
+
+Status DecodeMessage(ByteSpan data, FrontierRequest* out);
+Status DecodeMessage(ByteSpan data, FrontierResponse* out);
+Status DecodeMessage(ByteSpan data, BlockRequest* out);
+Status DecodeMessage(ByteSpan data, BlockResponse* out);
+Status DecodeMessage(ByteSpan data, PushBlocks* out);
+
+}  // namespace vegvisir::recon

@@ -1,0 +1,468 @@
+#include "recon/session.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/bloom.h"
+
+namespace vegvisir::recon {
+
+void SessionStats::Accumulate(const SessionStats& other) {
+  rounds += other.rounds;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  blocks_received += other.blocks_received;
+  blocks_inserted += other.blocks_inserted;
+  blocks_pushed += other.blocks_pushed;
+}
+
+// --------------------------------------------------------- Initiator
+
+InitiatorSession::InitiatorSession(ReconHost* host, ReconConfig config)
+    : host_(host),
+      config_(config),
+      level_(std::max<std::uint32_t>(1, config.start_level)) {}
+
+Bytes InitiatorSession::Send(Bytes message) {
+  stats_.bytes_sent += message.size();
+  return message;
+}
+
+Bytes InitiatorSession::MakeFrontierRequest() {
+  FrontierRequest req;
+  req.level = level_;
+  // Bloom fallback rounds use hash-first requests: escalation is then
+  // paid in hashes, not repeated bodies.
+  req.hashes_only = (config_.mode == ReconConfig::Mode::kHashFirst) ||
+                    (config_.mode == ReconConfig::Mode::kBloom &&
+                     bloom_round_done_);
+  req.genesis = host_->dag().genesis_hash();
+  req.frontier_digest = host_->dag().FrontierDigest();
+  stats_.rounds += 1;
+  return Send(EncodeMessage(req));
+}
+
+Bytes InitiatorSession::MakeBloomRequest() {
+  const chain::Dag& dag = host_->dag();
+  BloomFilter filter = BloomFilter::ForExpectedItems(dag.Size());
+  for (const chain::BlockHash& h : dag.TopologicalOrder()) {
+    filter.Insert(ByteSpan(h.data(), h.size()));
+  }
+  FrontierRequest req;
+  req.level = 1;
+  req.hashes_only = false;
+  req.genesis = dag.genesis_hash();
+  req.bloom = filter.Serialize();
+  req.frontier_digest = dag.FrontierDigest();
+  stats_.rounds += 1;
+  return Send(EncodeMessage(req));
+}
+
+Bytes InitiatorSession::Start() {
+  return config_.mode == ReconConfig::Mode::kBloom ? MakeBloomRequest()
+                                                   : MakeFrontierRequest();
+}
+
+Status InitiatorSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
+  if (state_ != SessionState::kRunning) {
+    return FailedPreconditionError("session not running");
+  }
+  stats_.bytes_received += data.size();
+  const auto type = PeekType(data);
+  if (!type.ok()) {
+    state_ = SessionState::kFailed;
+    return type.status();
+  }
+  Status s;
+  switch (*type) {
+    case MessageType::kFrontierResponse:
+      s = HandleFrontierResponse(data, out);
+      break;
+    case MessageType::kBlockResponse:
+      s = HandleBlockResponse(data, out);
+      break;
+    default:
+      s = InvalidArgumentError("unexpected message for initiator");
+      break;
+  }
+  if (!s.ok()) state_ = SessionState::kFailed;
+  return s;
+}
+
+Status InitiatorSession::StashBlocks(const std::vector<Bytes>& blocks) {
+  for (const Bytes& raw : blocks) {
+    auto block = chain::Block::Deserialize(raw);
+    if (!block.ok()) return block.status();
+    stats_.blocks_received += 1;
+    const chain::BlockHash h = block->hash();
+    if (host_->HasBlock(h)) continue;  // already stored or quarantined
+    stash_.emplace(h, *std::move(block));
+  }
+  return Status::Ok();
+}
+
+bool InitiatorSession::TryMerge() {
+  // Fixpoint insertion: keep offering stash blocks whose parents are
+  // known; every accepted block may unblock others.
+  bool progress = true;
+  while (progress && !stash_.empty()) {
+    progress = false;
+    for (auto it = stash_.begin(); it != stash_.end();) {
+      const chain::Block& block = it->second;
+      bool parents_known = true;
+      for (const chain::BlockHash& p : block.header().parents) {
+        if (!host_->dag().Contains(p)) {
+          parents_known = false;
+          break;
+        }
+      }
+      if (!parents_known) {
+        ++it;
+        continue;
+      }
+      const chain::BlockVerdict verdict = host_->OfferBlock(block);
+      if (verdict == chain::BlockVerdict::kValid) {
+        stats_.blocks_inserted += 1;
+      }
+      // kReject: deterministically invalid, drop. kRetryLater with
+      // parents known means the host quarantined it (unknown creator
+      // or future timestamp); the host owns the retry, not us.
+      it = stash_.erase(it);
+      progress = true;
+    }
+  }
+  if (stash_.empty()) return true;
+
+  // Blocks still missing parents: hand them to the host anyway — it
+  // quarantines them, so the bytes this session already paid for
+  // survive a lost message or a timeout. Without this, escalation
+  // over deep gaps is all-or-nothing per session and lossy links can
+  // starve it forever (each level must arrive in the SAME session).
+  // The caller still escalates to fetch the missing ancestry; once it
+  // lands, the quarantine drains everything at once.
+  for (auto it = stash_.begin(); it != stash_.end();) {
+    (void)host_->OfferBlock(it->second);
+    it = stash_.erase(it);
+  }
+  return false;
+}
+
+bool InitiatorSession::CaughtUp() const {
+  for (const chain::BlockHash& h : last_advertised_) {
+    if (!host_->dag().Contains(h)) return false;
+  }
+  return true;
+}
+
+Status InitiatorSession::HandleFrontierResponse(ByteSpan data,
+                                                std::vector<Bytes>* out) {
+  FrontierResponse resp;
+  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &resp));
+  if (resp.genesis != host_->dag().genesis_hash()) {
+    return FailedPreconditionError("peer is on a different chain");
+  }
+  if (!peer_frontier_known_) {
+    // The level-1 frontier is a subset of every level-n set, but only
+    // the first response's hash list is exactly the peer's frontier.
+    peer_frontier_ = resp.hashes;
+    peer_frontier_known_ = true;
+  }
+  // Saturation: if escalating stopped growing the advertised set, the
+  // responder has nothing deeper to give; a still-open gap is not
+  // bridgeable this session (e.g. a block quarantined on clock skew).
+  const bool saturated =
+      level_ > 1 && resp.hashes.size() <= last_level_count_;
+  last_level_count_ = resp.hashes.size();
+  last_advertised_ = resp.hashes;
+
+  if (config_.mode == ReconConfig::Mode::kBloom && !bloom_round_done_) {
+    // Summary round: the responder sent everything our filter did not
+    // claim to have. Usually that closes the gap in one round; Bloom
+    // false positives may leave holes, in which case we fall back to
+    // hash-first escalation.
+    VEGVISIR_RETURN_IF_ERROR(StashBlocks(resp.blocks));
+    if (TryMerge() && CaughtUp()) {
+      FinishMaybePush(out);
+      return Status::Ok();
+    }
+    bloom_round_done_ = true;
+    return EscalateOrFail(out);
+  }
+
+  if (config_.mode == ReconConfig::Mode::kHashFirst ||
+      (config_.mode == ReconConfig::Mode::kBloom && bloom_round_done_)) {
+    // Request only the bodies we miss.
+    BlockRequest req;
+    for (const chain::BlockHash& h : resp.hashes) {
+      if (!host_->HasBlock(h) && stash_.count(h) == 0) {
+        req.hashes.push_back(h);
+      }
+    }
+    if (req.hashes.empty()) {
+      // Nothing new at this level; either we are already caught up or
+      // bodies are parked awaiting deeper history.
+      if (TryMerge() && CaughtUp()) {
+        FinishMaybePush(out);
+        return Status::Ok();
+      }
+      if (saturated) {
+        return FailedPreconditionError(
+            "peer's history exhausted but gap still open");
+      }
+      return EscalateOrFail(out);
+    }
+    out->push_back(Send(EncodeMessage(req)));
+    return Status::Ok();
+  }
+
+  // Block-push mode: bodies arrive with the response.
+  VEGVISIR_RETURN_IF_ERROR(StashBlocks(resp.blocks));
+  if (TryMerge() && CaughtUp()) {
+    FinishMaybePush(out);
+    return Status::Ok();
+  }
+  if (saturated) {
+    return FailedPreconditionError(
+        "peer's history exhausted but gap still open");
+  }
+  return EscalateOrFail(out);
+}
+
+Status InitiatorSession::HandleBlockResponse(ByteSpan data,
+                                             std::vector<Bytes>* out) {
+  const bool hash_first_active =
+      config_.mode == ReconConfig::Mode::kHashFirst ||
+      (config_.mode == ReconConfig::Mode::kBloom && bloom_round_done_);
+  if (!hash_first_active) {
+    return InvalidArgumentError("unexpected block response");
+  }
+  BlockResponse resp;
+  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &resp));
+  VEGVISIR_RETURN_IF_ERROR(StashBlocks(resp.blocks));
+  if (TryMerge() && CaughtUp()) {
+    FinishMaybePush(out);
+    return Status::Ok();
+  }
+  return EscalateOrFail(out);
+}
+
+Status InitiatorSession::EscalateOrFail(std::vector<Bytes>* out) {
+  if (level_ >= config_.max_level) {
+    return ResourceExhaustedError("frontier level cap reached");
+  }
+  if (config_.escalation == ReconConfig::Escalation::kExponential) {
+    level_ = std::min(level_ * 2, config_.max_level);
+  } else {
+    ++level_;
+  }
+  out->push_back(MakeFrontierRequest());
+  return Status::Ok();
+}
+
+void InitiatorSession::FinishMaybePush(std::vector<Bytes>* out) {
+  state_ = SessionState::kDone;
+  if (!config_.push_back || !peer_frontier_known_) return;
+
+  // The peer's DAG is exactly its frontier plus that frontier's
+  // ancestors; after the merge our DAG is a superset, so anything of
+  // ours outside that closure is provably missing on the peer.
+  std::set<chain::BlockHash> peer_known;
+  const chain::Dag& dag = host_->dag();
+  for (const chain::BlockHash& h : peer_frontier_) {
+    if (!dag.Contains(h)) continue;
+    peer_known.insert(h);
+    for (const chain::BlockHash& a : dag.Ancestors(h)) peer_known.insert(a);
+  }
+
+  PushBlocks push;
+  for (const chain::BlockHash& h : dag.TopologicalOrder()) {
+    if (peer_known.count(h) > 0) continue;
+    const chain::Block* block = dag.Find(h);
+    if (block == nullptr) continue;  // evicted body; peer must ask a superpeer
+    push.blocks.push_back(block->Serialize());
+  }
+  if (push.blocks.empty()) return;
+  stats_.blocks_pushed += push.blocks.size();
+  out->push_back(Send(EncodeMessage(push)));
+}
+
+// --------------------------------------------------------- Responder
+
+ResponderSession::ResponderSession(ReconHost* host, ReconConfig config)
+    : host_(host), config_(config) {}
+
+Bytes ResponderSession::Send(Bytes message) {
+  stats_.bytes_sent += message.size();
+  return message;
+}
+
+Status ResponderSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
+  stats_.bytes_received += data.size();
+  const auto type = PeekType(data);
+  if (!type.ok()) return type.status();
+  switch (*type) {
+    case MessageType::kFrontierRequest:
+      return HandleFrontierRequest(data, out);
+    case MessageType::kBlockRequest:
+      return HandleBlockRequest(data, out);
+    case MessageType::kPushBlocks:
+      return HandlePushBlocks(data);
+    default:
+      return InvalidArgumentError("unexpected message for responder");
+  }
+}
+
+Status ResponderSession::HandleFrontierRequest(ByteSpan data,
+                                               std::vector<Bytes>* out) {
+  FrontierRequest req;
+  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &req));
+  if (req.genesis != host_->dag().genesis_hash()) {
+    return FailedPreconditionError("initiator is on a different chain");
+  }
+  if (req.level < 1) return InvalidArgumentError("frontier level must be >= 1");
+  stats_.rounds += 1;
+
+  FrontierResponse resp;
+  resp.level = req.level;
+  resp.genesis = host_->dag().genesis_hash();
+
+  // Identical frontiers == identical DAGs (paper §IV-G): reply with
+  // the frontier hashes only, no bodies — the initiator will see all
+  // hashes present and finish immediately.
+  if (req.frontier_digest == host_->dag().FrontierDigest()) {
+    resp.hashes = host_->dag().Frontier();
+    out->push_back(Send(EncodeMessage(resp)));
+    return Status::Ok();
+  }
+
+  if (!req.bloom.empty()) {
+    // Summary reconciliation: send every stored block the initiator's
+    // filter does not (probably) contain, parents before children so
+    // the receiver can insert as it reads. The hash list carries our
+    // frontier for the initiator's completion check.
+    auto filter = BloomFilter::Deserialize(req.bloom);
+    if (!filter.ok()) return filter.status();
+    resp.hashes = host_->dag().Frontier();
+    for (const chain::BlockHash& h : host_->dag().TopologicalOrder()) {
+      if (h == host_->dag().genesis_hash()) continue;
+      if (filter->MayContain(ByteSpan(h.data(), h.size()))) continue;
+      const chain::Block* block = host_->dag().Find(h);
+      if (block != nullptr) resp.blocks.push_back(block->Serialize());
+    }
+    stats_.blocks_pushed += resp.blocks.size();
+    out->push_back(Send(EncodeMessage(resp)));
+    return Status::Ok();
+  }
+
+  resp.hashes = host_->dag().FrontierLevel(static_cast<int>(req.level));
+  if (!req.hashes_only) {
+    for (const chain::BlockHash& h : resp.hashes) {
+      const chain::Block* block = host_->dag().Find(h);
+      // Evicted bodies cannot be served; the initiator can fetch them
+      // from a superpeer / the support blockchain.
+      if (block != nullptr) resp.blocks.push_back(block->Serialize());
+    }
+    stats_.blocks_pushed += resp.blocks.size();
+  }
+  out->push_back(Send(EncodeMessage(resp)));
+  return Status::Ok();
+}
+
+Status ResponderSession::HandleBlockRequest(ByteSpan data,
+                                            std::vector<Bytes>* out) {
+  BlockRequest req;
+  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &req));
+  BlockResponse resp;
+  for (const chain::BlockHash& h : req.hashes) {
+    const chain::Block* block = host_->dag().Find(h);
+    if (block != nullptr) resp.blocks.push_back(block->Serialize());
+  }
+  stats_.blocks_pushed += resp.blocks.size();
+  out->push_back(Send(EncodeMessage(resp)));
+  return Status::Ok();
+}
+
+Status ResponderSession::HandlePushBlocks(ByteSpan data) {
+  PushBlocks push;
+  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &push));
+  // Same fixpoint merge as the initiator side, inline.
+  std::deque<chain::Block> pending;
+  for (const Bytes& raw : push.blocks) {
+    auto block = chain::Block::Deserialize(raw);
+    if (!block.ok()) return block.status();
+    stats_.blocks_received += 1;
+    if (!host_->dag().Contains(block->hash())) {
+      pending.push_back(*std::move(block));
+    }
+  }
+  bool progress = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < pending.size();) {
+      bool parents_known = true;
+      for (const chain::BlockHash& p : pending[i].header().parents) {
+        if (!host_->dag().Contains(p)) {
+          parents_known = false;
+          break;
+        }
+      }
+      if (!parents_known) {
+        ++i;
+        continue;
+      }
+      if (host_->OfferBlock(pending[i]) == chain::BlockVerdict::kValid) {
+        stats_.blocks_inserted += 1;
+      }
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      progress = true;
+    }
+  }
+  // Leftovers with missing parents go to the host's quarantine so the
+  // transfer is not wasted (see InitiatorSession::TryMerge).
+  for (const chain::Block& block : pending) {
+    (void)host_->OfferBlock(block);
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------ local runner
+
+SessionState RunLocalSession(ReconHost* initiator_host,
+                             ReconHost* responder_host,
+                             const ReconConfig& config,
+                             SessionStats* initiator_stats,
+                             SessionStats* responder_stats) {
+  InitiatorSession initiator(initiator_host, config);
+  ResponderSession responder(responder_host, config);
+
+  std::deque<Bytes> to_responder;
+  std::deque<Bytes> to_initiator;
+  to_responder.push_back(initiator.Start());
+
+  // Alternate until the initiator settles (bounded for safety).
+  for (int step = 0; step < 1'000'000; ++step) {
+    if (!to_responder.empty()) {
+      const Bytes msg = std::move(to_responder.front());
+      to_responder.pop_front();
+      std::vector<Bytes> replies;
+      if (!responder.OnMessage(msg, &replies).ok()) break;
+      for (Bytes& r : replies) to_initiator.push_back(std::move(r));
+      continue;
+    }
+    if (!to_initiator.empty()) {
+      const Bytes msg = std::move(to_initiator.front());
+      to_initiator.pop_front();
+      std::vector<Bytes> replies;
+      if (!initiator.OnMessage(msg, &replies).ok()) break;
+      for (Bytes& r : replies) to_responder.push_back(std::move(r));
+      continue;
+    }
+    break;  // both queues drained
+  }
+
+  if (initiator_stats != nullptr) *initiator_stats = initiator.stats();
+  if (responder_stats != nullptr) *responder_stats = responder.stats();
+  return initiator.state();
+}
+
+}  // namespace vegvisir::recon

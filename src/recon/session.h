@@ -1,0 +1,179 @@
+// Reconciliation sessions (paper §IV-G, Algorithm 1).
+//
+// A session is a pair of state machines exchanging the byte messages
+// of recon/messages.h. They are transport-agnostic: the simulator (or
+// a real radio link) moves the bytes. The initiator pulls the
+// responder's level-n frontier set, escalating n until the gap to its
+// own DAG is bridged, then merges. Two modes:
+//
+//   kBlockPush (paper-faithful): every frontier response carries full
+//     block bodies, re-sending the whole level-n set each round.
+//   kHashFirst (ablation E10, the paper's future-work direction):
+//     responses carry hashes; the initiator requests only the bodies
+//     it is missing.
+//   kBloom (a further future-work design): the first request carries
+//     a Bloom-filter summary of the initiator's block set; the
+//     responder sends the probably-missing blocks in topological
+//     order, typically finishing in one round. Bloom false positives
+//     can leave gaps; the session then falls back to hash-first
+//     escalation, so completeness never depends on the filter.
+//
+// With `push_back` enabled the initiator finishes by pushing the
+// blocks the responder provably lacks (anti-entropy extension; off by
+// default to match the paper's one-way pull).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/dag.h"
+#include "chain/validation.h"
+#include "recon/messages.h"
+#include "util/status.h"
+
+namespace vegvisir::recon {
+
+// What a session needs from its node: the local DAG and a way to
+// offer received blocks (the host validates, inserts, feeds the CSM
+// and manages its quarantine).
+class ReconHost {
+ public:
+  virtual ~ReconHost() = default;
+
+  virtual const chain::Dag& dag() const = 0;
+
+  // Offers a block received from a peer. kValid means it was inserted.
+  virtual chain::BlockVerdict OfferBlock(const chain::Block& block) = 0;
+
+  // True if the host already holds this block's bytes — inserted in
+  // the DAG *or* parked in a quarantine. Sessions use it to avoid
+  // re-fetching bodies the host cannot attach yet.
+  virtual bool HasBlock(const chain::BlockHash& h) const {
+    return dag().Contains(h);
+  }
+};
+
+struct ReconConfig {
+  enum class Mode { kBlockPush, kHashFirst, kBloom };
+  Mode mode = Mode::kBlockPush;
+  // Give up escalating past this frontier level (a safety valve; the
+  // escalation naturally stops once the set reaches the genesis).
+  std::uint32_t max_level = 1u << 20;
+  bool push_back = false;
+  // Level growth on escalation: kLinear is the paper's Algorithm 1
+  // (n <- n+1); kExponential doubles the level, reaching a depth-d
+  // gap in log2(d) round trips — far more robust on lossy links
+  // where each round trip may fail.
+  enum class Escalation { kLinear, kExponential };
+  Escalation escalation = Escalation::kLinear;
+  // First level to request (default 1). The gossip engine resumes a
+  // failed catch-up at the level the previous session reached, so
+  // multi-session progress accumulates even with linear escalation.
+  std::uint32_t start_level = 1;
+};
+
+struct SessionStats {
+  std::uint64_t rounds = 0;           // frontier requests sent/served
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t blocks_received = 0;  // bodies received over the wire
+  std::uint64_t blocks_inserted = 0;  // newly added to the DAG
+  std::uint64_t blocks_pushed = 0;    // bodies pushed to the peer
+
+  void Accumulate(const SessionStats& other);
+};
+
+enum class SessionState { kRunning, kDone, kFailed };
+
+class InitiatorSession {
+ public:
+  InitiatorSession(ReconHost* host, ReconConfig config);
+
+  // The first message to send to the responder.
+  Bytes Start();
+
+  // Feeds a responder message; any messages to send back are appended
+  // to `out`. A non-OK status means the session failed.
+  Status OnMessage(ByteSpan data, std::vector<Bytes>* out);
+
+  SessionState state() const { return state_; }
+  const SessionStats& stats() const { return stats_; }
+  // The frontier level most recently requested (for session resume).
+  std::uint32_t level() const { return level_; }
+
+ private:
+  Bytes MakeFrontierRequest();
+  Bytes MakeBloomRequest();
+  Status HandleFrontierResponse(ByteSpan data, std::vector<Bytes>* out);
+  Status HandleBlockResponse(ByteSpan data, std::vector<Bytes>* out);
+  Status StashBlocks(const std::vector<Bytes>& blocks);
+  // Merges the stash into the DAG (fixpoint). Returns true if every
+  // stashed block was resolved (inserted / duplicate / rejected);
+  // false if some still miss parents (they are handed to the host's
+  // quarantine so partial progress survives) and escalation must
+  // continue.
+  bool TryMerge();
+  // True once every block the peer advertised is *inserted* in the
+  // local DAG (quarantined does not count — a quarantined frontier
+  // still needs its ancestry fetched).
+  bool CaughtUp() const;
+  Status EscalateOrFail(std::vector<Bytes>* out);
+  void FinishMaybePush(std::vector<Bytes>* out);
+  Bytes Send(Bytes message);
+
+  ReconHost* host_;
+  ReconConfig config_;
+  SessionState state_ = SessionState::kRunning;
+  SessionStats stats_;
+  std::uint32_t level_ = 1;
+  // In bloom mode, set after the summary round; escalation then uses
+  // hash-first requests (cheap) to close false-positive gaps.
+  bool bloom_round_done_ = false;
+  // Bodies received this session, keyed by hash, not yet inserted.
+  std::map<chain::BlockHash, chain::Block> stash_;
+  // The peer's advertised level-1 frontier (used for push-back).
+  std::vector<chain::BlockHash> peer_frontier_;
+  bool peer_frontier_known_ = false;
+  // The most recent advertised hash set and its size; if escalation
+  // stops growing the set (the level saturated at the whole DAG) and
+  // we are still not caught up, the gap is not bridgeable this
+  // session (e.g. a block quarantined on clock skew) and we fail
+  // rather than loop.
+  std::vector<chain::BlockHash> last_advertised_;
+  std::size_t last_level_count_ = 0;
+};
+
+class ResponderSession {
+ public:
+  ResponderSession(ReconHost* host, ReconConfig config);
+
+  // Handles one initiator message, appending replies to `out`.
+  Status OnMessage(ByteSpan data, std::vector<Bytes>* out);
+
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  Status HandleFrontierRequest(ByteSpan data, std::vector<Bytes>* out);
+  Status HandleBlockRequest(ByteSpan data, std::vector<Bytes>* out);
+  Status HandlePushBlocks(ByteSpan data);
+  Bytes Send(Bytes message);
+
+  ReconHost* host_;
+  ReconConfig config_;
+  SessionStats stats_;
+};
+
+// Runs a complete session over a lossless in-process "wire",
+// delivering messages alternately until the initiator finishes.
+// Returns the initiator's final state. Used by tests and benches;
+// the simulator drives sessions through real (simulated) links
+// instead.
+SessionState RunLocalSession(ReconHost* initiator_host,
+                             ReconHost* responder_host,
+                             const ReconConfig& config,
+                             SessionStats* initiator_stats = nullptr,
+                             SessionStats* responder_stats = nullptr);
+
+}  // namespace vegvisir::recon

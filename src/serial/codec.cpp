@@ -1,0 +1,157 @@
+#include "serial/codec.h"
+
+namespace vegvisir::serial {
+namespace {
+
+std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+void Writer::WriteU8(std::uint8_t v) { buffer_.push_back(v); }
+
+void Writer::WriteU16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::WriteU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::WriteU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::WriteI64(std::int64_t v) { WriteVarint(ZigZagEncode(v)); }
+
+void Writer::WriteVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::WriteBytes(ByteSpan data) {
+  WriteVarint(data.size());
+  Append(&buffer_, data);
+}
+
+void Writer::WriteString(std::string_view s) {
+  WriteBytes(ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()),
+                      s.size()));
+}
+
+void Writer::WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+Status Reader::TruncatedError() {
+  return InvalidArgumentError("truncated input");
+}
+
+Status Reader::ReadU8(std::uint8_t* out) {
+  if (remaining() < 1) return TruncatedError();
+  *out = data_[pos_++];
+  return Status::Ok();
+}
+
+Status Reader::ReadU16(std::uint16_t* out) {
+  if (remaining() < 2) return TruncatedError();
+  *out = static_cast<std::uint16_t>(data_[pos_]) |
+         (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8);
+  pos_ += 2;
+  return Status::Ok();
+}
+
+Status Reader::ReadU32(std::uint32_t* out) {
+  if (remaining() < 4) return TruncatedError();
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::Ok();
+}
+
+Status Reader::ReadU64(std::uint64_t* out) {
+  if (remaining() < 8) return TruncatedError();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::Ok();
+}
+
+Status Reader::ReadI64(std::int64_t* out) {
+  std::uint64_t raw;
+  VEGVISIR_RETURN_IF_ERROR(ReadVarint(&raw));
+  *out = ZigZagDecode(raw);
+  return Status::Ok();
+}
+
+Status Reader::ReadVarint(std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  std::uint8_t byte = 0;
+  do {
+    if (remaining() < 1) return TruncatedError();
+    if (shift >= 64) return InvalidArgumentError("varint too long");
+    byte = data_[pos_++];
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return InvalidArgumentError("varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    shift += 7;
+  } while (byte & 0x80);
+  // Canonical (minimal-length) check: the final byte must be nonzero
+  // unless the whole value is the single byte 0.
+  if (byte == 0 && shift > 7) {
+    return InvalidArgumentError("non-minimal varint");
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status Reader::ReadBytes(Bytes* out) {
+  std::uint64_t len;
+  VEGVISIR_RETURN_IF_ERROR(ReadVarint(&len));
+  if (len > remaining()) return TruncatedError();
+  out->assign(data_.begin() + pos_, data_.begin() + pos_ + len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status Reader::ReadString(std::string* out) {
+  Bytes raw;
+  VEGVISIR_RETURN_IF_ERROR(ReadBytes(&raw));
+  out->assign(raw.begin(), raw.end());
+  return Status::Ok();
+}
+
+Status Reader::ReadBool(bool* out) {
+  std::uint8_t v;
+  VEGVISIR_RETURN_IF_ERROR(ReadU8(&v));
+  if (v > 1) return InvalidArgumentError("non-canonical bool");
+  *out = (v == 1);
+  return Status::Ok();
+}
+
+Status Reader::ExpectEnd() const {
+  if (!AtEnd()) return InvalidArgumentError("trailing bytes after value");
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::serial

@@ -1,0 +1,44 @@
+#include "sim/network.h"
+
+namespace vegvisir::sim {
+
+void Network::Register(NodeId node, Handler handler, EnergyMeter* meter) {
+  endpoints_[node] = Endpoint{std::move(handler), meter};
+}
+
+bool Network::Send(NodeId from, NodeId to, Bytes payload) {
+  if (!topology_->Connected(from, to, simulator_->now())) {
+    stats_.messages_unreachable += 1;
+    return false;
+  }
+
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += payload.size();
+  if (auto it = endpoints_.find(from);
+      it != endpoints_.end() && it->second.meter != nullptr) {
+    it->second.meter->AddTx(payload.size());
+  }
+
+  if (rng_.NextBool(params_.drop_probability)) {
+    stats_.messages_dropped += 1;
+    return true;  // transmitted, but lost in the air
+  }
+
+  const TimeMs delay =
+      params_.base_latency_ms +
+      static_cast<TimeMs>(static_cast<double>(payload.size()) /
+                          params_.bytes_per_ms);
+  const std::size_t size = payload.size();
+  simulator_->ScheduleAfter(
+      delay, [this, from, to, payload = std::move(payload), size]() {
+        const auto it = endpoints_.find(to);
+        if (it == endpoints_.end()) return;
+        stats_.messages_delivered += 1;
+        stats_.bytes_delivered += size;
+        if (it->second.meter != nullptr) it->second.meter->AddRx(size);
+        it->second.handler(from, payload);
+      });
+  return true;
+}
+
+}  // namespace vegvisir::sim

@@ -1,0 +1,79 @@
+// The simulated radio network.
+//
+// Carries opaque byte payloads between nodes subject to the topology
+// (connectivity at send time), link latency, per-byte transmission
+// delay, and random loss. Charges the senders'/receivers' energy
+// meters. Delivery callbacks fire as simulator events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/energy.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace vegvisir::sim {
+
+struct LinkParams {
+  TimeMs base_latency_ms = 5;
+  double bytes_per_ms = 125.0;  // ~1 Mbit/s (BLE-ish application rate)
+  double drop_probability = 0.0;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;     // random loss
+  std::uint64_t messages_unreachable = 0; // not connected at send time
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(NodeId from, const Bytes& payload)>;
+
+  Network(Simulator* simulator, const Topology* topology, LinkParams params,
+          std::uint64_t seed)
+      : simulator_(simulator),
+        topology_(topology),
+        params_(params),
+        rng_(seed) {}
+
+  // Registers the delivery callback and energy meter for a node.
+  void Register(NodeId node, Handler handler, EnergyMeter* meter = nullptr);
+
+  // Sends `payload` from `from` to `to`. Returns false (and charges
+  // nothing) if the two are not connected right now. Loss is charged
+  // to the sender (the radio transmitted either way).
+  bool Send(NodeId from, NodeId to, Bytes payload);
+
+  std::vector<NodeId> NeighborsOf(NodeId n) const {
+    return topology_->NeighborsOf(n, simulator_->now());
+  }
+  bool Connected(NodeId a, NodeId b) const {
+    return topology_->Connected(a, b, simulator_->now());
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+  const Topology& topology() const { return *topology_; }
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    EnergyMeter* meter = nullptr;
+  };
+
+  Simulator* simulator_;
+  const Topology* topology_;
+  LinkParams params_;
+  Rng rng_;
+  std::map<NodeId, Endpoint> endpoints_;
+  NetworkStats stats_;
+};
+
+}  // namespace vegvisir::sim

@@ -1,0 +1,32 @@
+#include "sim/simulator.h"
+
+namespace vegvisir::sim {
+
+void Simulator::ScheduleAt(TimeMs at, std::function<void()> fn) {
+  if (at < now_) at = now_;  // never schedule into the past
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // std::priority_queue::top is const; moving the closure out needs a
+  // copy here, which is fine (events are small).
+  Event e = queue_.top();
+  queue_.pop();
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void Simulator::RunUntil(TimeMs end) {
+  while (!queue_.empty() && queue_.top().at <= end) Step();
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::RunAll(std::size_t max_events) {
+  for (std::size_t i = 0; i < max_events && Step(); ++i) {
+  }
+}
+
+}  // namespace vegvisir::sim

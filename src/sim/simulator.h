@@ -1,0 +1,61 @@
+// Deterministic discrete-event simulator.
+//
+// All Vegvisir experiments run on this substrate instead of the
+// paper's Android/Bluetooth testbed (see DESIGN.md §2). Events are
+// ordered by (time, insertion sequence), so a run is a pure function
+// of the seed and configuration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vegvisir::sim {
+
+using TimeMs = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  TimeMs now() const { return now_; }
+
+  // Schedules `fn` at absolute time `at` (>= now).
+  void ScheduleAt(TimeMs at, std::function<void()> fn);
+  void ScheduleAfter(TimeMs delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue empties or simulated time would pass
+  // `end`; leaves now() at min(end, last event time).
+  void RunUntil(TimeMs end);
+
+  // Runs everything (bounded by `max_events` as a runaway guard).
+  void RunAll(std::size_t max_events = 100'000'000);
+
+  // Executes the single earliest event. Returns false if none left.
+  bool Step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeMs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  TimeMs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace vegvisir::sim

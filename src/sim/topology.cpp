@@ -1,0 +1,166 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vegvisir::sim {
+namespace {
+
+std::pair<NodeId, NodeId> Norm(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+// -------------------------------------------------- ExplicitTopology
+
+void ExplicitTopology::AddLink(NodeId a, NodeId b) {
+  if (a == b) return;
+  links_.insert(Norm(a, b));
+}
+
+void ExplicitTopology::RemoveLink(NodeId a, NodeId b) {
+  links_.erase(Norm(a, b));
+}
+
+void ExplicitTopology::MakeClique() {
+  for (NodeId a = 0; a < node_count_; ++a) {
+    for (NodeId b = a + 1; b < node_count_; ++b) AddLink(a, b);
+  }
+}
+
+void ExplicitTopology::MakeLine() {
+  for (NodeId a = 0; a + 1 < node_count_; ++a) AddLink(a, a + 1);
+}
+
+void ExplicitTopology::MakeRing() {
+  MakeLine();
+  if (node_count_ > 2) AddLink(0, node_count_ - 1);
+}
+
+void ExplicitTopology::MakeStar(NodeId center) {
+  for (NodeId n = 0; n < node_count_; ++n) {
+    if (n != center) AddLink(center, n);
+  }
+}
+
+bool ExplicitTopology::Connected(NodeId a, NodeId b, TimeMs) const {
+  return a != b && links_.count(Norm(a, b)) > 0;
+}
+
+std::vector<NodeId> ExplicitTopology::NeighborsOf(NodeId n, TimeMs at) const {
+  std::vector<NodeId> out;
+  for (NodeId m = 0; m < node_count_; ++m) {
+    if (Connected(n, m, at)) out.push_back(m);
+  }
+  return out;
+}
+
+// -------------------------------------------------- UnitDiskTopology
+
+UnitDiskTopology::UnitDiskTopology(int node_count, Params params,
+                                   std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  Rng rng(seed);
+  homes_.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    homes_.push_back(Point{rng.NextDouble() * params_.field_size,
+                           rng.NextDouble() * params_.field_size});
+  }
+}
+
+UnitDiskTopology::Point UnitDiskTopology::MobilePositionOf(NodeId n,
+                                                           TimeMs at) const {
+  // Regenerate this node's waypoint walk from its own deterministic
+  // stream until the leg covering `at` is reached. Legs are coarse
+  // (seconds to minutes), so the loop is short for simulation spans.
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(n) + 1)));
+  Point from = homes_[static_cast<std::size_t>(n)];
+  TimeMs t = 0;
+  while (true) {
+    const Point to{rng.NextDouble() * params_.field_size,
+                   rng.NextDouble() * params_.field_size};
+    const double dist = std::hypot(to.x - from.x, to.y - from.y);
+    const TimeMs travel_ms = static_cast<TimeMs>(
+        dist / std::max(params_.speed_mps, 0.01) * 1000.0);
+    const TimeMs arrive = t + std::max<TimeMs>(travel_ms, 1);
+    if (at < arrive) {
+      const double frac = static_cast<double>(at - t) /
+                          static_cast<double>(arrive - t);
+      return Point{from.x + (to.x - from.x) * frac,
+                   from.y + (to.y - from.y) * frac};
+    }
+    const TimeMs hold_until = arrive + params_.waypoint_hold_ms;
+    if (at < hold_until) return to;
+    from = to;
+    t = hold_until;
+  }
+}
+
+UnitDiskTopology::Point UnitDiskTopology::PositionOf(NodeId n,
+                                                     TimeMs at) const {
+  return params_.mobile ? MobilePositionOf(n, at)
+                        : homes_[static_cast<std::size_t>(n)];
+}
+
+bool UnitDiskTopology::Connected(NodeId a, NodeId b, TimeMs at) const {
+  if (a == b) return false;
+  const Point pa = PositionOf(a, at);
+  const Point pb = PositionOf(b, at);
+  return std::hypot(pa.x - pb.x, pa.y - pb.y) <= params_.radio_range;
+}
+
+std::vector<NodeId> UnitDiskTopology::NeighborsOf(NodeId n, TimeMs at) const {
+  std::vector<NodeId> out;
+  for (int m = 0; m < node_count(); ++m) {
+    if (Connected(n, m, at)) out.push_back(m);
+  }
+  return out;
+}
+
+// ----------------------------------------------- PartitionedTopology
+
+void PartitionedTopology::AddInterval(Interval interval) {
+  intervals_.push_back(std::move(interval));
+}
+
+void PartitionedTopology::SplitEvenly(TimeMs begin_ms, TimeMs end_ms,
+                                      int groups) {
+  Interval iv;
+  iv.begin_ms = begin_ms;
+  iv.end_ms = end_ms;
+  const int n = base_->node_count();
+  const int per_group = (n + groups - 1) / groups;
+  for (NodeId i = 0; i < n; ++i) iv.group_of[i] = i / per_group;
+  AddInterval(std::move(iv));
+}
+
+const PartitionedTopology::Interval* PartitionedTopology::ActiveAt(
+    TimeMs at) const {
+  for (const Interval& iv : intervals_) {
+    if (at >= iv.begin_ms && at < iv.end_ms) return &iv;
+  }
+  return nullptr;
+}
+
+bool PartitionedTopology::Connected(NodeId a, NodeId b, TimeMs at) const {
+  if (!base_->Connected(a, b, at)) return false;
+  const Interval* iv = ActiveAt(at);
+  if (iv == nullptr) return true;
+  const auto ga = iv->group_of.find(a);
+  const auto gb = iv->group_of.find(b);
+  const int group_a = ga == iv->group_of.end() ? -1 : ga->second;
+  const int group_b = gb == iv->group_of.end() ? -1 : gb->second;
+  return group_a >= 0 && group_a == group_b;
+}
+
+std::vector<NodeId> PartitionedTopology::NeighborsOf(NodeId n,
+                                                     TimeMs at) const {
+  std::vector<NodeId> out;
+  for (NodeId m = 0; m < node_count(); ++m) {
+    if (Connected(n, m, at)) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace vegvisir::sim

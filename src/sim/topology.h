@@ -1,0 +1,124 @@
+// Network topologies: who can physically talk to whom, when.
+//
+// Three models cover the paper's scenarios:
+//  - ExplicitTopology: hand-wired links (unit tests, small scenarios);
+//  - UnitDiskTopology: nodes with positions and a radio range, with
+//    optional random-waypoint mobility — the ad hoc first-responder /
+//    farm / ship networks of §II;
+//  - PartitionedTopology: wraps another topology with a schedule of
+//    partition intervals (disaster-response communication loss), used
+//    by experiment E3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace vegvisir::sim {
+
+using NodeId = int;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual bool Connected(NodeId a, NodeId b, TimeMs at) const = 0;
+  virtual std::vector<NodeId> NeighborsOf(NodeId n, TimeMs at) const = 0;
+  virtual int node_count() const = 0;
+};
+
+// Fixed node set with explicitly added/removed undirected links.
+class ExplicitTopology final : public Topology {
+ public:
+  explicit ExplicitTopology(int node_count) : node_count_(node_count) {}
+
+  void AddLink(NodeId a, NodeId b);
+  void RemoveLink(NodeId a, NodeId b);
+  // Convenience wirings.
+  void MakeClique();
+  void MakeLine();
+  void MakeRing();
+  void MakeStar(NodeId center);
+
+  bool Connected(NodeId a, NodeId b, TimeMs at) const override;
+  std::vector<NodeId> NeighborsOf(NodeId n, TimeMs at) const override;
+  int node_count() const override { return node_count_; }
+
+ private:
+  int node_count_;
+  std::set<std::pair<NodeId, NodeId>> links_;  // normalized (min,max)
+};
+
+// Nodes on a square field; connected iff within radio range. With
+// mobility enabled, every node performs an independent random
+// waypoint walk derived deterministically from the seed.
+class UnitDiskTopology final : public Topology {
+ public:
+  struct Params {
+    double field_size = 1000.0;   // meters, square side
+    double radio_range = 150.0;   // meters
+    bool mobile = false;
+    double speed_mps = 1.5;       // walking speed
+    TimeMs waypoint_hold_ms = 10'000;
+  };
+
+  UnitDiskTopology(int node_count, Params params, std::uint64_t seed);
+
+  struct Point {
+    double x = 0, y = 0;
+  };
+  Point PositionOf(NodeId n, TimeMs at) const;
+
+  bool Connected(NodeId a, NodeId b, TimeMs at) const override;
+  std::vector<NodeId> NeighborsOf(NodeId n, TimeMs at) const override;
+  int node_count() const override { return static_cast<int>(homes_.size()); }
+
+ private:
+  struct Leg {
+    TimeMs start_ms;
+    TimeMs end_ms;  // arrival (movement) then hold until next leg
+    Point from, to;
+  };
+  // Deterministically materializes legs for node n covering `at`.
+  Point MobilePositionOf(NodeId n, TimeMs at) const;
+
+  Params params_;
+  std::uint64_t seed_;
+  std::vector<Point> homes_;  // initial positions (static mode)
+};
+
+// Overlays hard partitions on a base topology. During an active
+// interval, nodes can communicate only within their assigned group.
+class PartitionedTopology final : public Topology {
+ public:
+  explicit PartitionedTopology(const Topology* base) : base_(base) {}
+
+  struct Interval {
+    TimeMs begin_ms;
+    TimeMs end_ms;
+    std::map<NodeId, int> group_of;  // missing nodes => group -1 (isolated)
+  };
+
+  void AddInterval(Interval interval);
+
+  // Convenience: split [0, n) into `groups` contiguous groups for
+  // [begin, end).
+  void SplitEvenly(TimeMs begin_ms, TimeMs end_ms, int groups);
+
+  bool Connected(NodeId a, NodeId b, TimeMs at) const override;
+  std::vector<NodeId> NeighborsOf(NodeId n, TimeMs at) const override;
+  int node_count() const override { return base_->node_count(); }
+
+ private:
+  const Interval* ActiveAt(TimeMs at) const;
+
+  const Topology* base_;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace vegvisir::sim

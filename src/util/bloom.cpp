@@ -1,0 +1,106 @@
+#include "util/bloom.h"
+
+#include <algorithm>
+
+namespace vegvisir {
+namespace {
+
+// Minimal local varint codec: util must stay dependency-free (the
+// serial module links against util, not the other way around).
+void PutVarint(Bytes* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+bool GetVarint(ByteSpan data, std::size_t* pos, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift < 64) {
+    const std::uint8_t byte = data[(*pos)++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits, int hashes)
+    : bits_((std::max<std::size_t>(bits, 8) + 7) / 8, 0),
+      hashes_(std::max(hashes, 1)) {}
+
+BloomFilter BloomFilter::ForExpectedItems(std::size_t expected_items) {
+  return BloomFilter(std::max<std::size_t>(expected_items, 1) * 10, 7);
+}
+
+std::uint64_t BloomFilter::Hash(ByteSpan item, std::uint64_t seed) {
+  // FNV-1a variant with a seed mixed in; quality is ample for a
+  // Bloom filter over already-uniform block hashes.
+  std::uint64_t h = 1469598103934665603ULL ^ (seed * 0x9e3779b97f4a7c15ULL);
+  for (std::uint8_t b : item) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void BloomFilter::Insert(ByteSpan item) {
+  const std::uint64_t h1 = Hash(item, 1);
+  const std::uint64_t h2 = Hash(item, 2) | 1;  // odd stride
+  const std::uint64_t m = bits_.size() * 8;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % m;
+    bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(ByteSpan item) const {
+  const std::uint64_t h1 = Hash(item, 1);
+  const std::uint64_t h2 = Hash(item, 2) | 1;
+  const std::uint64_t m = bits_.size() * 8;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % m;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+Bytes BloomFilter::Serialize() const {
+  Bytes out;
+  PutVarint(&out, bits_.size() * 8);
+  PutVarint(&out, static_cast<std::uint64_t>(hashes_));
+  out.insert(out.end(), bits_.begin(), bits_.end());
+  return out;
+}
+
+StatusOr<BloomFilter> BloomFilter::Deserialize(ByteSpan data) {
+  std::size_t pos = 0;
+  std::uint64_t bit_count, hashes;
+  if (!GetVarint(data, &pos, &bit_count) || !GetVarint(data, &pos, &hashes)) {
+    return InvalidArgumentError("truncated bloom header");
+  }
+  if (hashes == 0 || hashes > 64) {
+    return InvalidArgumentError("implausible bloom hash count");
+  }
+  if (bit_count > (1u << 26) || bit_count % 8 != 0) {
+    return InvalidArgumentError("bad bloom bit count");
+  }
+  if (data.size() - pos != bit_count / 8) {
+    return InvalidArgumentError("bloom bit count mismatch");
+  }
+  BloomFilter f(bit_count, static_cast<int>(hashes));
+  f.bits_.assign(data.begin() + static_cast<std::ptrdiff_t>(pos), data.end());
+  return f;
+}
+
+}  // namespace vegvisir

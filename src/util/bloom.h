@@ -1,0 +1,50 @@
+// A simple Bloom filter over byte strings.
+//
+// Used by the summary-based reconciliation mode (recon/session.h,
+// mode kBloom): the initiator summarizes its block-hash set in a few
+// hundred bytes; the responder sends only blocks that are (probably)
+// missing. False positives are possible — the protocol treats a
+// "probably present" block that was actually missing as a normal
+// reconciliation gap and escalates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace vegvisir {
+
+class BloomFilter {
+ public:
+  // `bits` is rounded up to a multiple of 8; `hashes` is the number
+  // of probe positions per item (k).
+  BloomFilter(std::size_t bits, int hashes);
+
+  // Builds a filter sized for `expected_items` at roughly 1% false
+  // positives (bits = 10 * n, k = 7).
+  static BloomFilter ForExpectedItems(std::size_t expected_items);
+
+  void Insert(ByteSpan item);
+
+  // True if the item may be present; false means definitely absent.
+  bool MayContain(ByteSpan item) const;
+
+  std::size_t bit_count() const { return bits_.size() * 8; }
+  int hash_count() const { return hashes_; }
+
+  // Wire form: varint bit count, varint hash count, raw bits.
+  Bytes Serialize() const;
+  static StatusOr<BloomFilter> Deserialize(ByteSpan data);
+
+ private:
+  // Two independent 64-bit hashes combined with the Kirsch-
+  // Mitzenmacher trick: probe_i = h1 + i * h2.
+  static std::uint64_t Hash(ByteSpan item, std::uint64_t seed);
+
+  std::vector<std::uint8_t> bits_;
+  int hashes_;
+};
+
+}  // namespace vegvisir

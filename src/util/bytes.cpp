@@ -1,0 +1,68 @@
+#include "util/bytes.h"
+
+#include <cstdlib>
+
+namespace vegvisir {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string ToHex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+bool FromHex(std::string_view hex, Bytes* out) {
+  if (hex.size() % 2 != 0) return false;
+  Bytes parsed;
+  parsed.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexNibble(hex[i]);
+    const int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    parsed.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+Bytes MustFromHex(std::string_view hex) {
+  Bytes out;
+  if (!FromHex(hex, &out)) std::abort();
+  return out;
+}
+
+Bytes BytesOf(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string TextOf(ByteSpan data) {
+  return std::string(data.begin(), data.end());
+}
+
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void Append(Bytes* dst, ByteSpan src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+}  // namespace vegvisir

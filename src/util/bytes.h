@@ -1,0 +1,41 @@
+// Byte-buffer helpers shared by every module.
+//
+// A `Bytes` value is the universal currency of the library: canonical
+// encodings, hashes, signatures and wire messages are all `Bytes`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vegvisir {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+// Lowercase hex encoding of `data` ("" for empty input).
+std::string ToHex(ByteSpan data);
+
+// Parses lowercase/uppercase hex. Returns false on odd length or a
+// non-hex character; `out` is left untouched on failure.
+bool FromHex(std::string_view hex, Bytes* out);
+
+// Convenience: hex string -> Bytes, aborting on malformed input.
+// Intended for test vectors and literals, not untrusted input.
+Bytes MustFromHex(std::string_view hex);
+
+// Copies a UTF-8/ASCII string into a byte buffer.
+Bytes BytesOf(std::string_view text);
+
+// Interprets a byte buffer as text (no validation).
+std::string TextOf(ByteSpan data);
+
+// Constant-time equality for secrets (signatures, MACs).
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+// Appends `src` to `dst`.
+void Append(Bytes* dst, ByteSpan src);
+
+}  // namespace vegvisir

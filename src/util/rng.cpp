@@ -1,0 +1,14 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace vegvisir {
+
+double Rng::NextExponential(double mean) {
+  // Inverse-CDF sampling; guard the log argument away from 0.
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace vegvisir

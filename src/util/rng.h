@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the library (simulator events, gossip
+// peer selection, CRDT name generation, key generation in tests) draws
+// from a seeded generator so that a whole simulation run is
+// reproducible from (seed, config). No wall-clock entropy is used.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace vegvisir {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: the library's workhorse PRNG. Not cryptographically
+// secure; key material must come from crypto::Drbg instead.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = bound * (UINT64_MAX / bound);
+    std::uint64_t v;
+    do {
+      v = NextU64();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // A random permutation of [0, n).
+  std::vector<std::size_t> Permutation(std::size_t n) {
+    std::vector<std::size_t> p(n);
+    std::iota(p.begin(), p.end(), std::size_t{0});
+    Shuffle(&p);
+    return p;
+  }
+
+  // Derives an independent child generator (for per-node streams).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace vegvisir

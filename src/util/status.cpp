@@ -1,0 +1,28 @@
+#include "util/status.h"
+
+namespace vegvisir {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kAlreadyExists: return "already-exists";
+    case ErrorCode::kPermissionDenied: return "permission-denied";
+    case ErrorCode::kFailedPrecondition: return "failed-precondition";
+    case ErrorCode::kUnauthenticated: return "unauthenticated";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = ErrorCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace vegvisir

@@ -1,0 +1,30 @@
+// Umbrella header: the Vegvisir public API in one include.
+//
+//   #include "vegvisir.h"
+//
+// Pulls in the pieces a typical application touches — node facade,
+// genesis construction, CRDT types and values, access-control
+// policies, reconciliation sessions, witness proofs, persistence and
+// the simulation harness. Individual module headers remain available
+// for finer-grained includes.
+#pragma once
+
+#include "chain/audit.h"       // post-hoc review + provenance
+#include "chain/dot.h"         // Graphviz export, tx causality queries
+#include "chain/genesis.h"     // GenesisBuilder, owner certificates
+#include "chain/proof.h"       // self-contained witness proofs
+#include "chain/store.h"       // DAG persistence
+#include "crdt/counters.h"     // G-Counter, PN-Counter
+#include "crdt/map.h"          // LWW-Map
+#include "crdt/registers.h"    // LWW-Register, MV-Register
+#include "crdt/rga.h"          // RGA ordered sequence
+#include "crdt/sets.h"         // G-Set, 2P-Set, OR-Set
+#include "crypto/aead.h"       // ChaCha20-Poly1305 payload sealing
+#include "crypto/ed25519.h"    // keys and signatures
+#include "csm/acl.h"           // role-based operation policies
+#include "node/checkpoint.h"   // whole-node save/restore
+#include "node/cluster.h"      // simulated deployments
+#include "node/gossip.h"       // opportunistic gossip engine
+#include "node/node.h"         // the Node facade
+#include "recon/session.h"     // reconciliation protocol
+#include "support/superpeer.h" // support blockchain, storage manager

@@ -1,0 +1,546 @@
+#include <gtest/gtest.h>
+
+#include "crdt/counters.h"
+#include "crdt/crdt.h"
+#include "crdt/map.h"
+#include "crdt/flags.h"
+#include "crdt/registers.h"
+#include "crdt/rga.h"
+#include "crdt/sets.h"
+#include "crdt/value.h"
+
+namespace vegvisir::crdt {
+namespace {
+
+OpContext Ctx(const std::string& tx_id, std::uint64_t ts = 1,
+              const std::string& user = "alice") {
+  return OpContext{tx_id, user, ts};
+}
+
+// ------------------------------------------------------------------ Value
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::OfBool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::OfInt(-5).type(), ValueType::kInt);
+  EXPECT_EQ(Value::OfStr("x").type(), ValueType::kStr);
+  EXPECT_EQ(Value::OfBytes({1}).type(), ValueType::kBytes);
+  EXPECT_TRUE(Value::OfBool(true).AsBool());
+  EXPECT_EQ(Value::OfInt(-5).AsInt(), -5);
+  EXPECT_EQ(Value::OfStr("x").AsStr(), "x");
+  EXPECT_EQ(Value::OfBytes({1}).AsBytes(), Bytes{1});
+}
+
+TEST(ValueTest, OrderingIsTotalAcrossTypes) {
+  // bool < int < str < bytes (by type tag).
+  EXPECT_LT(Value::OfBool(true), Value::OfInt(0));
+  EXPECT_LT(Value::OfInt(999), Value::OfStr(""));
+  EXPECT_LT(Value::OfStr("zzz"), Value::OfBytes({}));
+  // within type by payload
+  EXPECT_LT(Value::OfInt(-1), Value::OfInt(0));
+  EXPECT_LT(Value::OfStr("a"), Value::OfStr("b"));
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  const Value values[] = {Value::OfBool(false), Value::OfInt(-123456),
+                          Value::OfStr("hello"), Value::OfBytes({0, 255})};
+  for (const Value& v : values) {
+    serial::Writer w;
+    v.Encode(&w);
+    serial::Reader r(w.buffer());
+    Value out;
+    ASSERT_TRUE(Value::Decode(&r, &out).ok());
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(ValueTest, DecodeRejectsUnknownTag) {
+  const Bytes bad = {0x07};
+  serial::Reader r(bad);
+  Value out;
+  EXPECT_FALSE(Value::Decode(&r, &out).ok());
+}
+
+TEST(ValueTest, ToStringIsReadable) {
+  EXPECT_EQ(Value::OfInt(42).ToString(), "int:42");
+  EXPECT_EQ(Value::OfStr("ab").ToString(), "str:\"ab\"");
+  EXPECT_EQ(Value::OfBool(true).ToString(), "bool:true");
+}
+
+// ------------------------------------------------------------------ GSet
+
+TEST(GSetTest, AddAndContains) {
+  GSet s(ValueType::kStr);
+  EXPECT_TRUE(s.Apply("add", std::vector<Value>{Value::OfStr("a")},
+                      Ctx("t1")).ok());
+  EXPECT_TRUE(s.Contains(Value::OfStr("a")));
+  EXPECT_FALSE(s.Contains(Value::OfStr("b")));
+  EXPECT_EQ(s.Size(), 1u);
+}
+
+TEST(GSetTest, AddIsIdempotent) {
+  GSet s(ValueType::kInt);
+  const std::vector<Value> args = {Value::OfInt(7)};
+  ASSERT_TRUE(s.Apply("add", args, Ctx("t1")).ok());
+  ASSERT_TRUE(s.Apply("add", args, Ctx("t2")).ok());
+  EXPECT_EQ(s.Size(), 1u);
+}
+
+TEST(GSetTest, TypeCheckEnforced) {
+  GSet s(ValueType::kStr);
+  EXPECT_FALSE(s.CheckOp("add", std::vector<Value>{Value::OfInt(1)}).ok());
+  EXPECT_FALSE(s.CheckOp("add", std::vector<Value>{}).ok());
+  EXPECT_FALSE(s.CheckOp("remove", std::vector<Value>{Value::OfStr("x")}).ok());
+}
+
+TEST(GSetTest, FingerprintIndependentOfInsertionOrder) {
+  GSet a(ValueType::kStr), b(ValueType::kStr);
+  ASSERT_TRUE(a.Apply("add", std::vector<Value>{Value::OfStr("x")}, Ctx("1")).ok());
+  ASSERT_TRUE(a.Apply("add", std::vector<Value>{Value::OfStr("y")}, Ctx("2")).ok());
+  ASSERT_TRUE(b.Apply("add", std::vector<Value>{Value::OfStr("y")}, Ctx("2")).ok());
+  ASSERT_TRUE(b.Apply("add", std::vector<Value>{Value::OfStr("x")}, Ctx("1")).ok());
+  EXPECT_EQ(a.StateFingerprint(), b.StateFingerprint());
+}
+
+// ----------------------------------------------------------------- 2P-Set
+
+TEST(TwoPSetTest, RemoveWinsOverAdd) {
+  TwoPSet s(ValueType::kStr);
+  const std::vector<Value> x = {Value::OfStr("x")};
+  ASSERT_TRUE(s.Apply("add", x, Ctx("1")).ok());
+  ASSERT_TRUE(s.Apply("remove", x, Ctx("2")).ok());
+  EXPECT_FALSE(s.Contains(Value::OfStr("x")));
+  // Re-adding cannot resurrect (two-phase semantics).
+  ASSERT_TRUE(s.Apply("add", x, Ctx("3")).ok());
+  EXPECT_FALSE(s.Contains(Value::OfStr("x")));
+}
+
+TEST(TwoPSetTest, RemoveBeforeAddStillWins) {
+  TwoPSet s(ValueType::kStr);
+  const std::vector<Value> x = {Value::OfStr("x")};
+  ASSERT_TRUE(s.Apply("remove", x, Ctx("1")).ok());
+  ASSERT_TRUE(s.Apply("add", x, Ctx("2")).ok());
+  EXPECT_FALSE(s.Contains(Value::OfStr("x")));
+}
+
+TEST(TwoPSetTest, LiveElementsIsAddMinusRemove) {
+  TwoPSet s(ValueType::kInt);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(s.Apply("add", std::vector<Value>{Value::OfInt(i)},
+                        Ctx("a" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(s.Apply("remove", std::vector<Value>{Value::OfInt(2)},
+                      Ctx("r")).ok());
+  const auto live = s.LiveElements();
+  EXPECT_EQ(live.size(), 4u);
+  EXPECT_EQ(live.count(Value::OfInt(2)), 0u);
+  EXPECT_EQ(s.AddSet().size(), 5u);
+  EXPECT_EQ(s.RemoveSet().size(), 1u);
+}
+
+// ----------------------------------------------------------------- OR-Set
+
+TEST(OrSetTest, AddThenRemoveObserved) {
+  OrSet s(ValueType::kStr);
+  const Value x = Value::OfStr("x");
+  ASSERT_TRUE(s.Apply("add", std::vector<Value>{x}, Ctx("t1")).ok());
+  EXPECT_TRUE(s.Contains(x));
+  const auto tags = s.ObservedTags(x);
+  ASSERT_EQ(tags.size(), 1u);
+  std::vector<Value> rm = {x, Value::OfStr(tags[0])};
+  ASSERT_TRUE(s.Apply("remove", rm, Ctx("t2")).ok());
+  EXPECT_FALSE(s.Contains(x));
+}
+
+TEST(OrSetTest, ReAddAfterRemoveWorks) {
+  OrSet s(ValueType::kStr);
+  const Value x = Value::OfStr("x");
+  ASSERT_TRUE(s.Apply("add", std::vector<Value>{x}, Ctx("t1")).ok());
+  std::vector<Value> rm = {x, Value::OfStr("t1")};
+  ASSERT_TRUE(s.Apply("remove", rm, Ctx("t2")).ok());
+  ASSERT_TRUE(s.Apply("add", std::vector<Value>{x}, Ctx("t3")).ok());
+  EXPECT_TRUE(s.Contains(x));  // unlike 2P-Set
+}
+
+TEST(OrSetTest, ConcurrentAddSurvivesRemove) {
+  // A remove only covers tags the remover observed; a concurrent add
+  // with a fresh tag survives (add-wins for concurrent operations).
+  OrSet s(ValueType::kStr);
+  const Value x = Value::OfStr("x");
+  ASSERT_TRUE(s.Apply("add", std::vector<Value>{x}, Ctx("t1")).ok());
+  // Remove observed only t1; a concurrent add t3 arrives first.
+  ASSERT_TRUE(s.Apply("add", std::vector<Value>{x}, Ctx("t3")).ok());
+  std::vector<Value> rm = {x, Value::OfStr("t1")};
+  ASSERT_TRUE(s.Apply("remove", rm, Ctx("t2")).ok());
+  EXPECT_TRUE(s.Contains(x));
+}
+
+TEST(OrSetTest, RemoveBeforeAddArrivalCommutes) {
+  // The remove's tombstones apply even if the add arrives later.
+  OrSet s(ValueType::kStr);
+  const Value x = Value::OfStr("x");
+  std::vector<Value> rm = {x, Value::OfStr("t1")};
+  ASSERT_TRUE(s.Apply("remove", rm, Ctx("t2")).ok());
+  ASSERT_TRUE(s.Apply("add", std::vector<Value>{x}, Ctx("t1")).ok());
+  EXPECT_FALSE(s.Contains(x));
+}
+
+// --------------------------------------------------------------- Counters
+
+TEST(GCounterTest, IncrementsAccumulate) {
+  GCounter c(ValueType::kInt);
+  ASSERT_TRUE(c.Apply("inc", std::vector<Value>{}, Ctx("1", 1, "a")).ok());
+  ASSERT_TRUE(c.Apply("inc", std::vector<Value>{Value::OfInt(5)},
+                      Ctx("2", 2, "b")).ok());
+  EXPECT_EQ(c.Value(), 6);
+  EXPECT_EQ(c.ValueOf("a"), 1);
+  EXPECT_EQ(c.ValueOf("b"), 5);
+  EXPECT_EQ(c.ValueOf("nobody"), 0);
+}
+
+TEST(GCounterTest, NegativeAmountRejected) {
+  GCounter c(ValueType::kInt);
+  EXPECT_FALSE(c.CheckOp("inc", std::vector<Value>{Value::OfInt(-1)}).ok());
+  EXPECT_FALSE(c.CheckOp("dec", std::vector<Value>{}).ok());
+}
+
+TEST(PnCounterTest, IncAndDec) {
+  PnCounter c(ValueType::kInt);
+  ASSERT_TRUE(c.Apply("inc", std::vector<Value>{Value::OfInt(10)}, Ctx("1")).ok());
+  ASSERT_TRUE(c.Apply("dec", std::vector<Value>{Value::OfInt(3)}, Ctx("2")).ok());
+  ASSERT_TRUE(c.Apply("dec", std::vector<Value>{}, Ctx("3")).ok());
+  EXPECT_EQ(c.Value(), 6);
+  EXPECT_EQ(c.Increments(), 10);
+  EXPECT_EQ(c.Decrements(), 4);
+}
+
+// -------------------------------------------------------------- Registers
+
+TEST(LwwRegisterTest, LatestTimestampWins) {
+  LwwRegister r(ValueType::kStr);
+  ASSERT_TRUE(r.Apply("set", std::vector<Value>{Value::OfStr("old")},
+                      Ctx("1", 10)).ok());
+  ASSERT_TRUE(r.Apply("set", std::vector<Value>{Value::OfStr("new")},
+                      Ctx("2", 20)).ok());
+  EXPECT_EQ(r.Get()->AsStr(), "new");
+  // Stale write arriving late does not clobber.
+  ASSERT_TRUE(r.Apply("set", std::vector<Value>{Value::OfStr("stale")},
+                      Ctx("0", 5)).ok());
+  EXPECT_EQ(r.Get()->AsStr(), "new");
+}
+
+TEST(LwwRegisterTest, TieBrokenByTxIdDeterministically) {
+  LwwRegister a(ValueType::kStr), b(ValueType::kStr);
+  const std::vector<Value> v1 = {Value::OfStr("one")};
+  const std::vector<Value> v2 = {Value::OfStr("two")};
+  ASSERT_TRUE(a.Apply("set", v1, Ctx("aaa", 7)).ok());
+  ASSERT_TRUE(a.Apply("set", v2, Ctx("bbb", 7)).ok());
+  ASSERT_TRUE(b.Apply("set", v2, Ctx("bbb", 7)).ok());
+  ASSERT_TRUE(b.Apply("set", v1, Ctx("aaa", 7)).ok());
+  EXPECT_EQ(a.Get()->AsStr(), b.Get()->AsStr());
+  EXPECT_EQ(a.Get()->AsStr(), "two");  // larger tx id wins the tie
+}
+
+TEST(LwwRegisterTest, EmptyUntilFirstSet) {
+  LwwRegister r(ValueType::kInt);
+  EXPECT_FALSE(r.Get().has_value());
+}
+
+TEST(MvRegisterTest, ConcurrentWritesBothVisible) {
+  MvRegister r(ValueType::kStr);
+  ASSERT_TRUE(r.Apply("set", std::vector<Value>{Value::OfStr("a")},
+                      Ctx("t1")).ok());
+  ASSERT_TRUE(r.Apply("set", std::vector<Value>{Value::OfStr("b")},
+                      Ctx("t2")).ok());
+  // Neither observed the other: both visible (a conflict).
+  EXPECT_EQ(r.Values().size(), 2u);
+}
+
+TEST(MvRegisterTest, SupersededVersionDisappears) {
+  MvRegister r(ValueType::kStr);
+  ASSERT_TRUE(r.Apply("set", std::vector<Value>{Value::OfStr("a")},
+                      Ctx("t1")).ok());
+  // The next writer observed t1 and overwrites it.
+  std::vector<Value> args = {Value::OfStr("b"), Value::OfStr("t1")};
+  ASSERT_TRUE(r.Apply("set", args, Ctx("t2")).ok());
+  const auto values = r.Values();
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0].AsStr(), "b");
+  EXPECT_EQ(r.VisibleVersions(), std::vector<std::string>{"t2"});
+}
+
+TEST(MvRegisterTest, SupersessionCommutesWithLateWrite) {
+  // The overwrite arrives before the write it supersedes.
+  MvRegister r(ValueType::kStr);
+  std::vector<Value> args = {Value::OfStr("b"), Value::OfStr("t1")};
+  ASSERT_TRUE(r.Apply("set", args, Ctx("t2")).ok());
+  ASSERT_TRUE(r.Apply("set", std::vector<Value>{Value::OfStr("a")},
+                      Ctx("t1")).ok());
+  const auto values = r.Values();
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0].AsStr(), "b");
+}
+
+// ------------------------------------------------------------------- Map
+
+TEST(LwwMapTest, PutGetRemove) {
+  LwwMap m(ValueType::kInt);
+  std::vector<Value> put = {Value::OfStr("k"), Value::OfInt(1)};
+  ASSERT_TRUE(m.Apply("put", put, Ctx("t1", 10)).ok());
+  EXPECT_EQ(m.Get("k")->AsInt(), 1);
+  EXPECT_EQ(m.Size(), 1u);
+  std::vector<Value> rm = {Value::OfStr("k")};
+  ASSERT_TRUE(m.Apply("remove", rm, Ctx("t2", 20)).ok());
+  EXPECT_FALSE(m.Get("k").has_value());
+  EXPECT_EQ(m.Size(), 0u);
+}
+
+TEST(LwwMapTest, StaleRemoveDoesNotClobberNewerPut) {
+  LwwMap m(ValueType::kInt);
+  std::vector<Value> rm = {Value::OfStr("k")};
+  std::vector<Value> put = {Value::OfStr("k"), Value::OfInt(2)};
+  ASSERT_TRUE(m.Apply("put", put, Ctx("t2", 20)).ok());
+  ASSERT_TRUE(m.Apply("remove", rm, Ctx("t1", 10)).ok());
+  EXPECT_EQ(m.Get("k")->AsInt(), 2);
+}
+
+TEST(LwwMapTest, KeysAreIndependent) {
+  LwwMap m(ValueType::kStr);
+  ASSERT_TRUE(m.Apply("put", std::vector<Value>{Value::OfStr("a"),
+                                                Value::OfStr("1")},
+                      Ctx("t1", 1)).ok());
+  ASSERT_TRUE(m.Apply("put", std::vector<Value>{Value::OfStr("b"),
+                                                Value::OfStr("2")},
+                      Ctx("t2", 2)).ok());
+  EXPECT_EQ(m.LiveKeys().size(), 2u);
+  ASSERT_TRUE(m.Apply("remove", std::vector<Value>{Value::OfStr("a")},
+                      Ctx("t3", 3)).ok());
+  EXPECT_EQ(m.LiveKeys(), std::vector<std::string>{"b"});
+}
+
+TEST(LwwMapTest, ValueTypeChecked) {
+  LwwMap m(ValueType::kInt);
+  std::vector<Value> bad = {Value::OfStr("k"), Value::OfStr("not-int")};
+  EXPECT_FALSE(m.CheckOp("put", bad).ok());
+}
+
+// ------------------------------------------------------------------- RGA
+
+TEST(RgaTest, InsertsAtHeadNewestFirst) {
+  Rga seq(ValueType::kStr);
+  // Two inserts at the head with increasing timestamps: the newer one
+  // sorts first (classic RGA rule).
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr(""),
+                                           Value::OfStr("older")},
+                        Ctx("t1", 10)).ok());
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr(""),
+                                           Value::OfStr("newer")},
+                        Ctx("t2", 20)).ok());
+  const auto values = seq.Values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].AsStr(), "newer");
+  EXPECT_EQ(values[1].AsStr(), "older");
+}
+
+TEST(RgaTest, InsertAfterBuildsSequence) {
+  Rga seq(ValueType::kStr);
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr(""),
+                                           Value::OfStr("a")},
+                        Ctx("t1", 10)).ok());
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr("t1"),
+                                           Value::OfStr("b")},
+                        Ctx("t2", 20)).ok());
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr("t2"),
+                                           Value::OfStr("c")},
+                        Ctx("t3", 30)).ok());
+  const auto values = seq.Values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].AsStr(), "a");
+  EXPECT_EQ(values[1].AsStr(), "b");
+  EXPECT_EQ(values[2].AsStr(), "c");
+  EXPECT_EQ(seq.VisibleIds(),
+            (std::vector<std::string>{"t1", "t2", "t3"}));
+}
+
+TEST(RgaTest, RemoveTombstones) {
+  Rga seq(ValueType::kStr);
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr(""),
+                                           Value::OfStr("x")},
+                        Ctx("t1", 10)).ok());
+  ASSERT_TRUE(seq.Apply("remove", std::vector<Value>{Value::OfStr("t1")},
+                        Ctx("t2", 20)).ok());
+  EXPECT_TRUE(seq.Values().empty());
+  EXPECT_EQ(seq.ElementCount(), 1u);  // tombstone retained
+}
+
+TEST(RgaTest, RemoveBeforeInsertCommutes) {
+  Rga seq(ValueType::kStr);
+  ASSERT_TRUE(seq.Apply("remove", std::vector<Value>{Value::OfStr("t1")},
+                        Ctx("t2", 20)).ok());
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr(""),
+                                           Value::OfStr("x")},
+                        Ctx("t1", 10)).ok());
+  EXPECT_TRUE(seq.Values().empty());
+}
+
+TEST(RgaTest, OrphanInsertAttachesWhenParentArrives) {
+  Rga seq(ValueType::kStr);
+  // Child arrives before its parent (out-of-order delivery).
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr("t1"),
+                                           Value::OfStr("child")},
+                        Ctx("t2", 20)).ok());
+  EXPECT_TRUE(seq.Values().empty());  // not visible yet
+  ASSERT_TRUE(seq.Apply("insert",
+                        std::vector<Value>{Value::OfStr(""),
+                                           Value::OfStr("parent")},
+                        Ctx("t1", 10)).ok());
+  const auto values = seq.Values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].AsStr(), "parent");
+  EXPECT_EQ(values[1].AsStr(), "child");
+}
+
+TEST(RgaTest, ConcurrentSiblingOrderIsDeterministic) {
+  // Two replicas receive the same concurrent inserts in opposite
+  // orders; the rendered sequences must match.
+  const std::vector<Value> a1 = {Value::OfStr(""), Value::OfStr("A")};
+  const std::vector<Value> a2 = {Value::OfStr(""), Value::OfStr("B")};
+  Rga r1(ValueType::kStr), r2(ValueType::kStr);
+  ASSERT_TRUE(r1.Apply("insert", a1, Ctx("ta", 10)).ok());
+  ASSERT_TRUE(r1.Apply("insert", a2, Ctx("tb", 10)).ok());
+  ASSERT_TRUE(r2.Apply("insert", a2, Ctx("tb", 10)).ok());
+  ASSERT_TRUE(r2.Apply("insert", a1, Ctx("ta", 10)).ok());
+  ASSERT_EQ(r1.Values().size(), 2u);
+  EXPECT_EQ(r1.Values()[0], r2.Values()[0]);
+  EXPECT_EQ(r1.Values()[1], r2.Values()[1]);
+  EXPECT_EQ(r1.StateFingerprint(), r2.StateFingerprint());
+}
+
+TEST(RgaTest, TypeChecksEnforced) {
+  Rga seq(ValueType::kInt);
+  EXPECT_FALSE(seq.CheckOp("insert",
+                           std::vector<Value>{Value::OfStr(""),
+                                              Value::OfStr("not-int")})
+                   .ok());
+  EXPECT_FALSE(seq.CheckOp("remove",
+                           std::vector<Value>{Value::OfInt(1)}).ok());
+  EXPECT_FALSE(seq.CheckOp("pop", std::vector<Value>{}).ok());
+}
+
+TEST(RgaTest, CollaborativeEditingScenario) {
+  // "HELO" -> fix to "HELLO" by inserting after the second L position
+  // and removing nothing; then delete the trailing char.
+  Rga doc(ValueType::kStr);
+  std::vector<std::string> ids;
+  const char* chars[] = {"H", "E", "L", "O"};
+  std::string parent;
+  for (int i = 0; i < 4; ++i) {
+    const std::string id = "t" + std::to_string(i);
+    EXPECT_TRUE(doc.Apply("insert",
+                          std::vector<Value>{Value::OfStr(parent),
+                                             Value::OfStr(chars[i])},
+                          Ctx(id, 10 + static_cast<std::uint64_t>(i)))
+                    .ok());
+    ids.push_back(id);
+    parent = id;
+  }
+  // Insert the missing "L" after the existing L (t2).
+  EXPECT_TRUE(doc.Apply("insert",
+                        std::vector<Value>{Value::OfStr("t2"),
+                                           Value::OfStr("L")},
+                        Ctx("t9", 99)).ok());
+  std::string text;
+  for (const Value& v : doc.Values()) text += v.AsStr();
+  EXPECT_EQ(text, "HELLO");
+}
+
+// ---------------------------------------------------------------- EwFlag
+
+TEST(EwFlagTest, StartsDisabled) {
+  EwFlag f(ValueType::kBool);
+  EXPECT_FALSE(f.Value());
+}
+
+TEST(EwFlagTest, EnableThenObservedDisable) {
+  EwFlag f(ValueType::kBool);
+  ASSERT_TRUE(f.Apply("enable", std::vector<Value>{}, Ctx("t1")).ok());
+  EXPECT_TRUE(f.Value());
+  const auto tokens = f.ObservedTokens();
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_TRUE(f.Apply("disable",
+                      std::vector<Value>{Value::OfStr(tokens[0])},
+                      Ctx("t2")).ok());
+  EXPECT_FALSE(f.Value());
+}
+
+TEST(EwFlagTest, ConcurrentEnableWins) {
+  // A disable only cancels the enables its writer observed; a
+  // concurrent enable survives.
+  EwFlag f(ValueType::kBool);
+  ASSERT_TRUE(f.Apply("enable", std::vector<Value>{}, Ctx("t1")).ok());
+  ASSERT_TRUE(f.Apply("enable", std::vector<Value>{}, Ctx("t3")).ok());
+  ASSERT_TRUE(f.Apply("disable", std::vector<Value>{Value::OfStr("t1")},
+                      Ctx("t2")).ok());
+  EXPECT_TRUE(f.Value());  // t3 still live
+}
+
+TEST(EwFlagTest, DisableBeforeEnableCommutes) {
+  EwFlag f(ValueType::kBool);
+  ASSERT_TRUE(f.Apply("disable", std::vector<Value>{Value::OfStr("t1")},
+                      Ctx("t2")).ok());
+  ASSERT_TRUE(f.Apply("enable", std::vector<Value>{}, Ctx("t1")).ok());
+  EXPECT_FALSE(f.Value());
+}
+
+TEST(EwFlagTest, ReEnableAfterDisableWorks) {
+  EwFlag f(ValueType::kBool);
+  ASSERT_TRUE(f.Apply("enable", std::vector<Value>{}, Ctx("t1")).ok());
+  ASSERT_TRUE(f.Apply("disable", std::vector<Value>{Value::OfStr("t1")},
+                      Ctx("t2")).ok());
+  EXPECT_FALSE(f.Value());
+  ASSERT_TRUE(f.Apply("enable", std::vector<Value>{}, Ctx("t3")).ok());
+  EXPECT_TRUE(f.Value());
+}
+
+TEST(EwFlagTest, TypeChecks) {
+  EwFlag f(ValueType::kBool);
+  EXPECT_FALSE(f.CheckOp("enable",
+                         std::vector<Value>{Value::OfStr("x")}).ok());
+  EXPECT_FALSE(f.CheckOp("disable",
+                         std::vector<Value>{Value::OfInt(1)}).ok());
+  EXPECT_FALSE(f.CheckOp("toggle", std::vector<Value>{}).ok());
+}
+
+// --------------------------------------------------------------- Factory
+
+TEST(FactoryTest, CreatesEveryType) {
+  for (int t = 0; t <= static_cast<int>(CrdtType::kEwFlag); ++t) {
+    const auto type = static_cast<CrdtType>(t);
+    const auto crdt = CreateCrdt(type, ValueType::kStr);
+    ASSERT_NE(crdt, nullptr) << CrdtTypeName(type);
+    EXPECT_EQ(crdt->type(), type);
+    EXPECT_FALSE(crdt->SupportedOps().empty());
+  }
+}
+
+TEST(FactoryTest, TypeNamesRoundTrip) {
+  for (int t = 0; t <= static_cast<int>(CrdtType::kEwFlag); ++t) {
+    const auto type = static_cast<CrdtType>(t);
+    CrdtType parsed;
+    ASSERT_TRUE(CrdtTypeFromName(CrdtTypeName(type), &parsed));
+    EXPECT_EQ(parsed, type);
+  }
+  CrdtType out;
+  EXPECT_FALSE(CrdtTypeFromName("nonsense", &out));
+}
+
+}  // namespace
+}  // namespace vegvisir::crdt

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "chain/dot.h"
+#include "chain/genesis.h"
+#include "crypto/drbg.h"
+#include "node/node.h"
+
+namespace vegvisir::chain {
+namespace {
+
+crypto::KeyPair TestKeys(std::uint64_t seed) {
+  crypto::Drbg drbg(seed);
+  return crypto::KeyPair::Generate(drbg);
+}
+
+struct Fixture {
+  crypto::KeyPair owner_keys = TestKeys(1);
+  Block genesis = GenesisBuilder("dot-chain")
+                      .WithTimestamp(100)
+                      .Build("owner", owner_keys);
+
+  std::unique_ptr<node::Node> MakeOwner() {
+    node::NodeConfig cfg;
+    cfg.user_id = "owner";
+    auto n = std::make_unique<node::Node>(cfg, genesis, owner_keys);
+    n->SetTime(10'000);
+    return n;
+  }
+};
+
+TEST(DotTest, RendersNodesAndEdges) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  const auto h1 = owner->AddWitnessBlock();
+  ASSERT_TRUE(h1.ok());
+  const std::string dot = DagToDot(owner->dag());
+  EXPECT_NE(dot.find("digraph vegvisir"), std::string::npos);
+  EXPECT_NE(dot.find(HashShort(f.genesis.hash())), std::string::npos);
+  EXPECT_NE(dot.find(HashShort(*h1)), std::string::npos);
+  // One edge child -> parent.
+  EXPECT_NE(dot.find("\"" + HashShort(*h1) + "\" -> \"" +
+                     HashShort(f.genesis.hash()) + "\""),
+            std::string::npos);
+  // Frontier marked, genesis boxed.
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST(DotTest, EvictedStubsDashed) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  const auto h1 = owner->AddWitnessBlock();
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(owner->AddWitnessBlock().ok());
+  ASSERT_TRUE(owner->mutable_dag()->Evict(*h1).ok());
+  const std::string dot = DagToDot(owner->dag());
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(TxIdTest, ParseRoundTrip) {
+  Fixture f;
+  const std::string tx_id = HashHex(f.genesis.hash()) + ":3";
+  BlockHash block;
+  std::size_t index;
+  ASSERT_TRUE(ParseTxId(tx_id, &block, &index));
+  EXPECT_EQ(block, f.genesis.hash());
+  EXPECT_EQ(index, 3u);
+}
+
+TEST(TxIdTest, ParseRejectsMalformed) {
+  BlockHash block;
+  std::size_t index;
+  EXPECT_FALSE(ParseTxId("", &block, &index));
+  EXPECT_FALSE(ParseTxId("abc:1", &block, &index));            // short hash
+  EXPECT_FALSE(ParseTxId(std::string(64, 'g') + ":1", &block, &index));
+  EXPECT_FALSE(ParseTxId(std::string(64, 'a'), &block, &index));   // no colon
+  EXPECT_FALSE(ParseTxId(std::string(64, 'a') + ":", &block, &index));
+  EXPECT_FALSE(ParseTxId(std::string(64, 'a') + ":x", &block, &index));
+}
+
+TEST(TxIdTest, HappensBeforeFollowsCausality) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  const auto h1 = owner->AddWitnessBlock();
+  const auto h2 = owner->AddWitnessBlock();
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  const std::string genesis_tx0 = HashHex(f.genesis.hash()) + ":0";
+  const std::string genesis_tx1 = HashHex(f.genesis.hash()) + ":1";
+  const std::string tx1 = HashHex(*h1) + ":0";
+  const std::string tx2 = HashHex(*h2) + ":0";
+
+  EXPECT_TRUE(HappensBefore(owner->dag(), genesis_tx0, tx1));
+  EXPECT_TRUE(HappensBefore(owner->dag(), tx1, tx2));
+  EXPECT_FALSE(HappensBefore(owner->dag(), tx2, tx1));
+  // Within one block: index order.
+  EXPECT_TRUE(HappensBefore(owner->dag(), genesis_tx0, genesis_tx1));
+  EXPECT_FALSE(HappensBefore(owner->dag(), genesis_tx1, genesis_tx0));
+  // Unknown block: false.
+  EXPECT_FALSE(HappensBefore(owner->dag(), std::string(64, '0') + ":0", tx1));
+}
+
+TEST(TxIdTest, ConcurrentTransactionsUnordered) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  BlockHeader h1;
+  h1.user_id = "owner";
+  h1.timestamp_ms = 5'000;
+  h1.parents = {f.genesis.hash()};
+  BlockHeader h2;
+  h2.user_id = "owner";
+  h2.timestamp_ms = 5'001;
+  h2.parents = {f.genesis.hash()};
+  const Block a = Block::Create(std::move(h1), {}, f.owner_keys);
+  const Block b = Block::Create(std::move(h2), {}, f.owner_keys);
+  ASSERT_EQ(owner->OfferBlock(a), BlockVerdict::kValid);
+  ASSERT_EQ(owner->OfferBlock(b), BlockVerdict::kValid);
+  const std::string tx_a = HashHex(a.hash()) + ":0";
+  const std::string tx_b = HashHex(b.hash()) + ":0";
+  EXPECT_FALSE(HappensBefore(owner->dag(), tx_a, tx_b));
+  EXPECT_FALSE(HappensBefore(owner->dag(), tx_b, tx_a));
+}
+
+}  // namespace
+}  // namespace vegvisir::chain

@@ -1,0 +1,315 @@
+// End-to-end gossip over the simulated radio network.
+#include <gtest/gtest.h>
+
+#include "crdt/counters.h"
+#include "crdt/sets.h"
+#include "node/cluster.h"
+#include "sim/topology.h"
+
+namespace vegvisir::node {
+namespace {
+
+TEST(GossipTest, CliqueConvergesQuickly) {
+  sim::ExplicitTopology topo(6);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 6;
+  Cluster cluster(cfg, &topo);
+
+  cluster.RunFor(30'000);
+  ASSERT_TRUE(cluster.Converged());
+  // Everyone knows every member.
+  for (int i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.node(i).state().membership().LiveCount(), 6u) << i;
+  }
+}
+
+TEST(GossipTest, BlockSpreadsToAllNodes) {
+  sim::ExplicitTopology topo(8);
+  topo.MakeRing();  // multi-hop topology
+  ClusterConfig cfg;
+  cfg.node_count = 8;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(20'000);  // let enrolments settle
+
+  const auto h = cluster.node(3).AddWitnessBlock();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(cluster.CountHaving(*h), 1);
+  cluster.RunFor(60'000);
+  EXPECT_EQ(cluster.CountHaving(*h), 8);
+}
+
+TEST(GossipTest, CrdtStateConvergesAcrossNodes) {
+  sim::ExplicitTopology topo(5);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 5;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(20'000);
+
+  ASSERT_TRUE(cluster.node(0)
+                  .CreateCrdt("tally", crdt::CrdtType::kGCounter,
+                              crdt::ValueType::kInt,
+                              csm::AclPolicy::AllowAll())
+                  .ok());
+  cluster.RunFor(20'000);
+  // Three different nodes increment concurrently.
+  ASSERT_TRUE(cluster.node(1).AppendOp("tally", "inc",
+                                       {crdt::Value::OfInt(1)}).ok());
+  ASSERT_TRUE(cluster.node(2).AppendOp("tally", "inc",
+                                       {crdt::Value::OfInt(2)}).ok());
+  ASSERT_TRUE(cluster.node(3).AppendOp("tally", "inc",
+                                       {crdt::Value::OfInt(3)}).ok());
+  cluster.RunFor(60'000);
+
+  ASSERT_TRUE(cluster.Converged());
+  for (int i = 0; i < cluster.size(); ++i) {
+    const auto* tally =
+        cluster.node(i).state().FindCrdtAs<crdt::GCounter>("tally");
+    ASSERT_NE(tally, nullptr) << i;
+    EXPECT_EQ(tally->Value(), 6) << i;
+  }
+}
+
+TEST(GossipTest, PartitionThenHealLosesNothing) {
+  sim::ExplicitTopology base(6);
+  base.MakeClique();
+  sim::PartitionedTopology topo(&base);
+  // Partition into {0,1,2} and {3,4,5} during [30s, 90s).
+  topo.SplitEvenly(30'000, 90'000, 2);
+
+  ClusterConfig cfg;
+  cfg.node_count = 6;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(25'000);  // everyone enrolled pre-partition
+
+  ASSERT_TRUE(cluster.node(0)
+                  .CreateCrdt("log", crdt::CrdtType::kGSet,
+                              crdt::ValueType::kStr,
+                              csm::AclPolicy::AllowAll())
+                  .ok());
+  cluster.RunFor(4'000);  // the create reaches everyone pre-partition
+  cluster.RunFor(5'000);  // now inside the partition window (t=34s)
+
+  // Both sides keep writing during the partition.
+  ASSERT_TRUE(cluster.node(1).AppendOp("log", "add",
+                                       {crdt::Value::OfStr("side-A")}).ok());
+  ASSERT_TRUE(cluster.node(4).AppendOp("log", "add",
+                                       {crdt::Value::OfStr("side-B")}).ok());
+  cluster.RunFor(30'000);  // still partitioned (t=69s)
+
+  // Within each side, the write is visible; across sides it is not.
+  const auto* log1 = cluster.node(2).state().FindCrdtAs<crdt::GSet>("log");
+  ASSERT_NE(log1, nullptr);
+  EXPECT_TRUE(log1->Contains(crdt::Value::OfStr("side-A")));
+  EXPECT_FALSE(log1->Contains(crdt::Value::OfStr("side-B")));
+
+  // Heal and converge: both writes survive on every node — no blocks
+  // discarded (the partition-tolerance headline).
+  cluster.RunFor(120'000);
+  ASSERT_TRUE(cluster.Converged());
+  for (int i = 0; i < cluster.size(); ++i) {
+    const auto* log = cluster.node(i).state().FindCrdtAs<crdt::GSet>("log");
+    ASSERT_NE(log, nullptr);
+    EXPECT_TRUE(log->Contains(crdt::Value::OfStr("side-A"))) << i;
+    EXPECT_TRUE(log->Contains(crdt::Value::OfStr("side-B"))) << i;
+  }
+}
+
+TEST(GossipTest, LossyLinksStillConverge) {
+  sim::ExplicitTopology topo(5);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 5;
+  cfg.link.drop_probability = 0.2;  // 20% loss
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(120'000);
+  EXPECT_TRUE(cluster.Converged());
+}
+
+TEST(GossipTest, DeepCatchUpSurvivesHeavyLoss) {
+  // The hard case: one node must bridge a deep gap (a long history it
+  // entirely missed) across 30% message loss. Naive Algorithm 1 is
+  // all-or-nothing per session here (every escalation round must
+  // survive in ONE session); the engine's session-resume plus the
+  // quarantine-backed merge make progress accumulate instead.
+  sim::ExplicitTopology topo(3);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.seed = 13;
+  cfg.link.drop_probability = 0.3;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(240'000);
+  EXPECT_TRUE(cluster.Converged());
+  // All enrolments (deep chain written by node 0 at t=0) arrived.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.node(i).state().membership().LiveCount(), 3u) << i;
+  }
+}
+
+TEST(GossipTest, AdversaryCannotStopDelivery) {
+  // Line topology 0-1-2 with node 1 adversarial: it drops foreign
+  // blocks and never initiates gossip. With k=1 honest... the paper's
+  // model needs at least one honest path; give the line a bypass link
+  // 0-2 so an honest neighbour exists.
+  sim::ExplicitTopology topo(3);
+  topo.MakeLine();
+  topo.AddLink(0, 2);
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.adversaries = {1};
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(20'000);
+
+  const auto h = cluster.node(0).AddWitnessBlock();
+  ASSERT_TRUE(h.ok());
+  cluster.RunFor(60'000);
+  EXPECT_TRUE(cluster.node(2).dag().Contains(*h));
+  // The adversary never stored it (it refuses foreign blocks and
+  // never pulls, so it simply stays ignorant).
+  EXPECT_FALSE(cluster.node(1).dag().Contains(*h));
+}
+
+TEST(GossipTest, AdversaryCutsDeliveryWithoutHonestPath) {
+  // Same line, but no bypass: the adversary in the middle starves
+  // node 2 (the paper's k-honest-neighbour assumption is violated).
+  sim::ExplicitTopology topo(3);
+  topo.MakeLine();
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.adversaries = {1};
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(20'000);
+
+  const auto h = cluster.node(0).AddWitnessBlock();
+  ASSERT_TRUE(h.ok());
+  cluster.RunFor(60'000);
+  EXPECT_FALSE(cluster.node(2).dag().Contains(*h));
+}
+
+TEST(GossipTest, UnitDiskTopologyConverges) {
+  sim::UnitDiskTopology::Params p;
+  p.field_size = 300;
+  p.radio_range = 150;  // dense enough to be connected
+  sim::UnitDiskTopology topo(8, p, 11);
+  ClusterConfig cfg;
+  cfg.node_count = 8;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(120'000);
+  EXPECT_TRUE(cluster.Converged());
+}
+
+TEST(GossipTest, GossipStatsAreCollected) {
+  sim::ExplicitTopology topo(4);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(30'000);
+  const GossipStats& stats = cluster.gossip(0).stats();
+  EXPECT_GT(stats.ticks, 0u);
+  EXPECT_GT(stats.sessions_started, 0u);
+  EXPECT_GT(stats.sessions_completed, 0u);
+  EXPECT_GT(stats.initiator.bytes_sent, 0u);
+  EXPECT_GT(cluster.network().stats().messages_delivered, 0u);
+}
+
+TEST(GossipTest, IsolatedNodeCatchesUpWhenLinkReturns) {
+  // Node 2 loses its only link mid-run (device out of range), misses
+  // traffic, then reconnects and catches up — typical IoT churn.
+  sim::ExplicitTopology topo(3);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(20'000);
+
+  topo.RemoveLink(0, 2);
+  topo.RemoveLink(1, 2);
+  const auto h = cluster.node(0).AddWitnessBlock();
+  ASSERT_TRUE(h.ok());
+  cluster.RunFor(30'000);
+  EXPECT_FALSE(cluster.node(2).dag().Contains(*h));  // offline: missed it
+
+  topo.AddLink(0, 2);
+  cluster.RunFor(30'000);
+  EXPECT_TRUE(cluster.node(2).dag().Contains(*h));  // back: caught up
+  EXPECT_TRUE(cluster.Converged());
+}
+
+TEST(GossipTest, TotalLossTimesOutSessionsWithoutLeaking) {
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.link.drop_probability = 1.0;  // the air eats everything
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(120'000);
+  const GossipStats& stats = cluster.gossip(0).stats();
+  EXPECT_GT(stats.sessions_started, 0u);
+  EXPECT_EQ(stats.sessions_completed, 0u);
+  EXPECT_GT(stats.sessions_timed_out, 0u);  // expired, not leaked
+}
+
+TEST(GossipTest, StoppedEngineInitiatesNothingNew) {
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(10'000);
+  cluster.gossip(0).Stop();
+  cluster.gossip(1).Stop();
+  const std::uint64_t started_0 = cluster.gossip(0).stats().sessions_started;
+  const std::uint64_t started_1 = cluster.gossip(1).stats().sessions_started;
+  cluster.RunFor(30'000);
+  EXPECT_EQ(cluster.gossip(0).stats().sessions_started, started_0);
+  EXPECT_EQ(cluster.gossip(1).stats().sessions_started, started_1);
+}
+
+TEST(GossipTest, ClusterHonestListExcludesAdversaries) {
+  sim::ExplicitTopology topo(4);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.adversaries = {2};
+  Cluster cluster(cfg, &topo);
+  EXPECT_EQ(cluster.honest(), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(cluster.user_of(0), "owner");
+  EXPECT_EQ(cluster.user_of(2), "user-2");
+}
+
+TEST(GossipTest, DeterministicAcrossRuns) {
+  // Same seed, same topology, same schedule => byte-identical
+  // fingerprints. The entire simulation is reproducible.
+  auto run = [] {
+    sim::ExplicitTopology topo(4);
+    topo.MakeClique();
+    ClusterConfig cfg;
+    cfg.node_count = 4;
+    cfg.seed = 2026;
+    Cluster cluster(cfg, &topo);
+    cluster.RunFor(25'000);
+    (void)cluster.node(1).AddWitnessBlock();
+    cluster.RunFor(25'000);
+    return cluster.node(0).Fingerprint();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(GossipTest, EnergyAccountedDuringGossip) {
+  sim::ExplicitTopology topo(3);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(30'000);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(cluster.meter(i).radio_nj(), 0.0) << i;
+    EXPECT_GT(cluster.meter(i).total_nj(), 0.0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace vegvisir::node

@@ -1,0 +1,148 @@
+// Self-contained witness proofs (paper §V): built on a replica,
+// verified with nothing but the CA public key.
+#include <gtest/gtest.h>
+
+#include "chain/proof.h"
+#include "crypto/drbg.h"
+#include "node/node.h"
+#include "recon/session.h"
+
+namespace vegvisir::chain {
+namespace {
+
+crypto::KeyPair TestKeys(std::uint64_t seed) {
+  crypto::Drbg drbg(seed);
+  return crypto::KeyPair::Generate(drbg);
+}
+
+struct Fixture {
+  crypto::KeyPair owner_keys = TestKeys(1);
+  crypto::KeyPair alice_keys = TestKeys(2);
+  crypto::KeyPair bob_keys = TestKeys(3);
+  Block genesis = GenesisBuilder("proof-chain")
+                      .WithTimestamp(100)
+                      .Build("owner", owner_keys);
+  std::unique_ptr<node::Node> owner, alice, bob;
+  BlockHash target{};
+
+  Fixture() {
+    node::NodeConfig cfg;
+    cfg.user_id = "owner";
+    owner = std::make_unique<node::Node>(cfg, genesis, owner_keys);
+    cfg.user_id = "alice";
+    alice = std::make_unique<node::Node>(cfg, genesis, alice_keys);
+    cfg.user_id = "bob";
+    bob = std::make_unique<node::Node>(cfg, genesis, bob_keys);
+    for (node::Node* n : {owner.get(), alice.get(), bob.get()}) {
+      n->SetTime(10'000);
+    }
+    owner->EnrollUser(IssueCertificate("alice", alice_keys.public_key(),
+                                       "medic", owner_keys)).value();
+    owner->EnrollUser(IssueCertificate("bob", bob_keys.public_key(),
+                                       "medic", owner_keys)).value();
+    Sync(alice.get(), owner.get());
+    Sync(bob.get(), owner.get());
+
+    // The target block, witnessed by alice then bob.
+    target = owner->AddWitnessBlock().value();
+    Sync(alice.get(), owner.get());
+    alice->AddWitnessBlock().value();
+    Sync(bob.get(), alice.get());
+    bob->AddWitnessBlock().value();
+    Sync(owner.get(), bob.get());
+  }
+
+  static void Sync(node::Node* to, node::Node* from) {
+    ASSERT_EQ(recon::RunLocalSession(to, from, recon::ReconConfig{}),
+              recon::SessionState::kDone);
+  }
+};
+
+TEST(ProofTest, BuildAndVerifyK2) {
+  Fixture f;
+  auto proof = BuildWitnessProof(f.owner->dag(),
+                                 f.owner->state().membership(), f.target, 2);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  EXPECT_EQ(proof->paths.size(), 2u);
+  EXPECT_TRUE(VerifyWitnessProof(*proof, f.owner_keys.public_key(), 2).ok());
+  // It also proves k=1, but not k=3.
+  EXPECT_TRUE(VerifyWitnessProof(*proof, f.owner_keys.public_key(), 1).ok());
+  EXPECT_FALSE(VerifyWitnessProof(*proof, f.owner_keys.public_key(), 3).ok());
+}
+
+TEST(ProofTest, SerializeRoundTripVerifies) {
+  Fixture f;
+  auto proof = BuildWitnessProof(f.owner->dag(),
+                                 f.owner->state().membership(), f.target, 2);
+  ASSERT_TRUE(proof.ok());
+  auto back = WitnessProof::Deserialize(proof->Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(VerifyWitnessProof(*back, f.owner_keys.public_key(), 2).ok());
+}
+
+TEST(ProofTest, InsufficientWitnessesRefused) {
+  Fixture f;
+  auto proof = BuildWitnessProof(f.owner->dag(),
+                                 f.owner->state().membership(), f.target, 5);
+  EXPECT_FALSE(proof.ok());
+  EXPECT_EQ(proof.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(ProofTest, WrongCaRejected) {
+  Fixture f;
+  auto proof = BuildWitnessProof(f.owner->dag(),
+                                 f.owner->state().membership(), f.target, 2);
+  ASSERT_TRUE(proof.ok());
+  const crypto::KeyPair impostor = TestKeys(99);
+  EXPECT_FALSE(
+      VerifyWitnessProof(*proof, impostor.public_key(), 2).ok());
+}
+
+TEST(ProofTest, TamperedPathRejected) {
+  Fixture f;
+  auto proof = BuildWitnessProof(f.owner->dag(),
+                                 f.owner->state().membership(), f.target, 2);
+  ASSERT_TRUE(proof.ok());
+  // Flip a byte inside one of the path blocks.
+  ASSERT_FALSE(proof->paths[0].empty());
+  Bytes& raw = proof->paths[0][0];
+  raw[raw.size() / 2] ^= 0x01;
+  EXPECT_FALSE(VerifyWitnessProof(*proof, f.owner_keys.public_key(), 2).ok());
+}
+
+TEST(ProofTest, SubstitutedTargetRejected) {
+  Fixture f;
+  auto proof = BuildWitnessProof(f.owner->dag(),
+                                 f.owner->state().membership(), f.target, 2);
+  ASSERT_TRUE(proof.ok());
+  proof->target.fill(0x42);  // claim the proof is about another block
+  EXPECT_FALSE(VerifyWitnessProof(*proof, f.owner_keys.public_key(), 2).ok());
+}
+
+TEST(ProofTest, SelfWitnessDoesNotCount) {
+  // A proof whose paths are all created by the target's own creator
+  // proves nothing.
+  Fixture f;
+  auto owner_only = f.owner->AddWitnessBlock();  // self-descendant chain
+  ASSERT_TRUE(owner_only.ok());
+  const auto proof = BuildWitnessProof(
+      f.owner->dag(), f.owner->state().membership(), *owner_only, 1);
+  // owner's new block has bob's block + others as ancestors, not
+  // descendants; no witnesses yet.
+  EXPECT_FALSE(proof.ok());
+}
+
+TEST(ProofTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(WitnessProof::Deserialize(Bytes{}).ok());
+  EXPECT_FALSE(WitnessProof::Deserialize(BytesOf("not a proof")).ok());
+  Fixture f;
+  auto proof = BuildWitnessProof(f.owner->dag(),
+                                 f.owner->state().membership(), f.target, 2);
+  ASSERT_TRUE(proof.ok());
+  Bytes raw = proof->Serialize();
+  raw.resize(raw.size() / 2);
+  EXPECT_FALSE(WitnessProof::Deserialize(raw).ok());
+}
+
+}  // namespace
+}  // namespace vegvisir::chain

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "serial/codec.h"
+#include "util/bytes.h"
+
+namespace vegvisir::serial {
+namespace {
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Writer w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  Reader r(w.buffer());
+  std::uint8_t u8;
+  std::uint16_t u16;
+  std::uint32_t u32;
+  std::uint64_t u64;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(CodecTest, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) {
+    Writer w;
+    w.WriteVarint(v);
+    Reader r(w.buffer());
+    std::uint64_t out;
+    ASSERT_TRUE(r.ReadVarint(&out).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(CodecTest, VarintEncodingIsMinimal) {
+  Writer w;
+  w.WriteVarint(127);
+  EXPECT_EQ(w.buffer().size(), 1u);
+  Writer w2;
+  w2.WriteVarint(128);
+  EXPECT_EQ(w2.buffer().size(), 2u);
+}
+
+TEST(CodecTest, NonMinimalVarintRejected) {
+  // 0x80 0x00 encodes 0 non-minimally.
+  const Bytes bad = {0x80, 0x00};
+  Reader r(bad);
+  std::uint64_t out;
+  EXPECT_FALSE(r.ReadVarint(&out).ok());
+}
+
+TEST(CodecTest, OverlongVarintRejected) {
+  const Bytes bad(11, 0x80);  // never terminates within 64 bits
+  Reader r(bad);
+  std::uint64_t out;
+  EXPECT_FALSE(r.ReadVarint(&out).ok());
+}
+
+TEST(CodecTest, VarintOverflow64BitsRejected) {
+  // 10 bytes with a final byte carrying bits beyond 2^64.
+  Bytes bad(9, 0xff);
+  bad.push_back(0x7f);
+  Reader r(bad);
+  std::uint64_t out;
+  EXPECT_FALSE(r.ReadVarint(&out).ok());
+}
+
+TEST(CodecTest, SignedZigZagRoundTrip) {
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -2,
+                                 1234567,
+                                 -1234567,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (std::int64_t v : values) {
+    Writer w;
+    w.WriteI64(v);
+    Reader r(w.buffer());
+    std::int64_t out;
+    ASSERT_TRUE(r.ReadI64(&out).ok()) << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodecTest, SmallMagnitudeSignedValuesAreShort) {
+  Writer w;
+  w.WriteI64(-1);
+  EXPECT_EQ(w.buffer().size(), 1u);
+}
+
+TEST(CodecTest, BytesRoundTrip) {
+  Writer w;
+  w.WriteBytes(Bytes{1, 2, 3});
+  w.WriteBytes(Bytes{});
+  Reader r(w.buffer());
+  Bytes a, b;
+  ASSERT_TRUE(r.ReadBytes(&a).ok());
+  ASSERT_TRUE(r.ReadBytes(&b).ok());
+  EXPECT_EQ(a, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(CodecTest, StringRoundTrip) {
+  Writer w;
+  w.WriteString("hello");
+  w.WriteString("");
+  Reader r(w.buffer());
+  std::string a, b;
+  ASSERT_TRUE(r.ReadString(&a).ok());
+  ASSERT_TRUE(r.ReadString(&b).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+}
+
+TEST(CodecTest, BoolRoundTripAndCanonicality) {
+  Writer w;
+  w.WriteBool(true);
+  w.WriteBool(false);
+  Reader r(w.buffer());
+  bool a, b;
+  ASSERT_TRUE(r.ReadBool(&a).ok());
+  ASSERT_TRUE(r.ReadBool(&b).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+
+  const Bytes bad = {0x02};
+  Reader r2(bad);
+  bool c;
+  EXPECT_FALSE(r2.ReadBool(&c).ok());
+}
+
+TEST(CodecTest, TruncatedInputsFailCleanly) {
+  Writer w;
+  w.WriteU64(42);
+  for (std::size_t cut = 0; cut < 8; ++cut) {
+    Reader r(ByteSpan(w.buffer().data(), cut));
+    std::uint64_t out;
+    EXPECT_FALSE(r.ReadU64(&out).ok()) << cut;
+  }
+}
+
+TEST(CodecTest, BytesLengthBeyondInputRejected) {
+  Writer w;
+  w.WriteVarint(1000);  // claims 1000 bytes follow
+  Reader r(w.buffer());
+  Bytes out;
+  EXPECT_FALSE(r.ReadBytes(&out).ok());
+}
+
+TEST(CodecTest, ExpectEndDetectsTrailingGarbage) {
+  Writer w;
+  w.WriteU8(1);
+  w.WriteU8(2);
+  Reader r(w.buffer());
+  std::uint8_t v;
+  ASSERT_TRUE(r.ReadU8(&v).ok());
+  EXPECT_FALSE(r.ExpectEnd().ok());
+  ASSERT_TRUE(r.ReadU8(&v).ok());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(CodecTest, FixedArrayRoundTrip) {
+  std::array<std::uint8_t, 4> in = {9, 8, 7, 6};
+  Writer w;
+  w.WriteFixed(in);
+  Reader r(w.buffer());
+  std::array<std::uint8_t, 4> out{};
+  ASSERT_TRUE(r.ReadFixed(&out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(CodecTest, TakeMovesBuffer) {
+  Writer w;
+  w.WriteU8(5);
+  const Bytes taken = w.Take();
+  EXPECT_EQ(taken.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vegvisir::serial

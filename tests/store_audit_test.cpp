@@ -1,0 +1,212 @@
+// Persistence (chain/store.h) and post-hoc auditing (chain/audit.h).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "chain/audit.h"
+#include "chain/store.h"
+#include "crypto/drbg.h"
+#include "csm/state_machine.h"
+#include "node/node.h"
+
+namespace vegvisir::chain {
+namespace {
+
+crypto::KeyPair TestKeys(std::uint64_t seed) {
+  crypto::Drbg drbg(seed);
+  return crypto::KeyPair::Generate(drbg);
+}
+
+struct Fixture {
+  crypto::KeyPair owner_keys = TestKeys(1);
+  Block genesis = GenesisBuilder("store-chain")
+                      .WithTimestamp(100)
+                      .Build("owner", owner_keys);
+
+  std::unique_ptr<node::Node> MakeOwner() {
+    node::NodeConfig cfg;
+    cfg.user_id = "owner";
+    auto n = std::make_unique<node::Node>(cfg, genesis, owner_keys);
+    n->SetTime(10'000);
+    return n;
+  }
+};
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// -------------------------------------------------------------- store
+
+TEST(StoreTest, SerializeDeserializeRoundTrip) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  (void)owner->CreateCrdt("S", crdt::CrdtType::kGSet, crdt::ValueType::kStr,
+                          csm::AclPolicy::AllowAll());
+  for (int i = 0; i < 5; ++i) {
+    (void)owner->AppendOp("S", "add",
+                          {crdt::Value::OfStr("v" + std::to_string(i))});
+  }
+
+  const Bytes raw = SerializeDag(owner->dag());
+  auto loaded = DeserializeDag(raw);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Size(), owner->dag().Size());
+  EXPECT_EQ(loaded->genesis_hash(), owner->dag().genesis_hash());
+  EXPECT_EQ(loaded->Frontier(), owner->dag().Frontier());
+  EXPECT_EQ(loaded->TopologicalOrder(), owner->dag().TopologicalOrder());
+}
+
+TEST(StoreTest, CsmRebuildsIdenticallyFromLoadedDag) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  (void)owner->CreateCrdt("S", crdt::CrdtType::kGSet, crdt::ValueType::kStr,
+                          csm::AclPolicy::AllowAll());
+  (void)owner->AppendOp("S", "add", {crdt::Value::OfStr("persisted")});
+
+  auto loaded = DeserializeDag(SerializeDag(owner->dag()));
+  ASSERT_TRUE(loaded.ok());
+
+  // Replay the loaded DAG through a fresh state machine.
+  csm::StateMachine sm;
+  for (const BlockHash& h : loaded->TopologicalOrder()) {
+    const Block* b = loaded->Find(h);
+    ASSERT_NE(b, nullptr);
+    sm.ApplyBlock(*b);
+  }
+  EXPECT_EQ(sm.StateFingerprint(), owner->state().StateFingerprint());
+}
+
+TEST(StoreTest, EvictedStubsSurvivePersistence) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  const auto h1 = owner->AddWitnessBlock();
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(owner->AddWitnessBlock().ok());
+  ASSERT_TRUE(owner->mutable_dag()->Evict(*h1).ok());
+
+  auto loaded = DeserializeDag(SerializeDag(owner->dag()));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Size(), 3u);
+  EXPECT_EQ(loaded->PresenceOf(*h1), Presence::kEvicted);
+  EXPECT_EQ(loaded->StoredCount(), 2u);
+  // Linkage intact after reload.
+  EXPECT_EQ(loaded->ChildrenOf(*h1).size(), 1u);
+}
+
+TEST(StoreTest, ChecksumDetectsCorruption) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  ASSERT_TRUE(owner->AddWitnessBlock().ok());
+  Bytes raw = SerializeDag(owner->dag());
+  raw[raw.size() / 2] ^= 0x01;
+  EXPECT_FALSE(DeserializeDag(raw).ok());
+}
+
+TEST(StoreTest, RejectsWrongMagicAndTruncation) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  Bytes raw = SerializeDag(owner->dag());
+  EXPECT_FALSE(DeserializeDag(Bytes{1, 2, 3}).ok());
+  Bytes wrong = raw;
+  wrong[0] ^= 0xff;
+  EXPECT_FALSE(DeserializeDag(wrong).ok());
+  raw.resize(raw.size() / 2);
+  EXPECT_FALSE(DeserializeDag(raw).ok());
+}
+
+TEST(StoreTest, FileRoundTrip) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(owner->AddWitnessBlock().ok());
+  const std::string path = TempPath("vegvisir_store_test.dag");
+  ASSERT_TRUE(SaveDagToFile(owner->dag(), path).ok());
+  auto loaded = LoadDagFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Size(), owner->dag().Size());
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, LoadMissingFileFailsCleanly) {
+  const auto result = LoadDagFromFile(TempPath("nonexistent.dag"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+// -------------------------------------------------------------- audit
+
+TEST(AuditTest, CleanChainPasses) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  (void)owner->CreateCrdt("log", crdt::CrdtType::kGSet,
+                          crdt::ValueType::kStr, csm::AclPolicy::AllowAll());
+  for (int i = 0; i < 4; ++i) {
+    (void)owner->AppendOp("log", "add",
+                          {crdt::Value::OfStr("e" + std::to_string(i))});
+  }
+  const AuditReport report =
+      AuditDag(owner->dag(), owner->state().membership());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.blocks_checked, owner->dag().Size());
+  EXPECT_EQ(report.signatures_verified, owner->dag().Size());
+  EXPECT_EQ(report.bodies_missing, 0u);
+}
+
+TEST(AuditTest, CountsEvictedBodies) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  const auto h1 = owner->AddWitnessBlock();
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(owner->AddWitnessBlock().ok());
+  ASSERT_TRUE(owner->mutable_dag()->Evict(*h1).ok());
+  const AuditReport report =
+      AuditDag(owner->dag(), owner->state().membership());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.bodies_missing, 1u);
+}
+
+TEST(AuditTest, UnknownCreatorFlagged) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  ASSERT_TRUE(owner->AddWitnessBlock().ok());
+  // Audit against an *empty* membership: every creator is unknown.
+  csm::Membership empty;
+  const AuditReport report = AuditDag(owner->dag(), empty);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.issues.size(), owner->dag().Size());
+}
+
+TEST(AuditTest, ProvenanceExtractionInCausalOrder) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  (void)owner->CreateCrdt("log", crdt::CrdtType::kGSet,
+                          crdt::ValueType::kStr, csm::AclPolicy::AllowAll());
+  (void)owner->AppendOp("log", "add", {crdt::Value::OfStr("first")});
+  (void)owner->AppendOp("log", "add", {crdt::Value::OfStr("second")});
+
+  const auto trail = ExtractProvenance(owner->dag(), "log");
+  ASSERT_EQ(trail.size(), 2u);
+  EXPECT_EQ(trail[0].transaction.args[0].AsStr(), "first");
+  EXPECT_EQ(trail[1].transaction.args[0].AsStr(), "second");
+  EXPECT_EQ(trail[0].creator, "owner");
+  EXPECT_LT(trail[0].timestamp_ms, trail[1].timestamp_ms);
+
+  // Empty name matches all transactions (genesis enrolment included).
+  const auto all = ExtractProvenance(owner->dag(), "");
+  EXPECT_GT(all.size(), trail.size());
+}
+
+TEST(AuditTest, AuditAfterReloadFromDisk) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(owner->AddWitnessBlock().ok());
+  auto loaded = DeserializeDag(SerializeDag(owner->dag()));
+  ASSERT_TRUE(loaded.ok());
+  const AuditReport report = AuditDag(*loaded, owner->state().membership());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.signatures_verified, loaded->Size());
+}
+
+}  // namespace
+}  // namespace vegvisir::chain

@@ -1,0 +1,31 @@
+// The umbrella header must pull in the whole public API, compile
+// cleanly, and suffice for a minimal end-to-end flow.
+#include "vegvisir.h"
+
+#include <gtest/gtest.h>
+
+namespace vegvisir {
+namespace {
+
+TEST(UmbrellaTest, OneIncludeEndToEnd) {
+  crypto::Drbg rng(std::uint64_t{1});
+  const crypto::KeyPair owner_keys = crypto::KeyPair::Generate(rng);
+  const chain::Block genesis =
+      chain::GenesisBuilder("umbrella").Build("owner", owner_keys);
+  node::NodeConfig cfg;
+  cfg.user_id = "owner";
+  node::Node owner(cfg, genesis, owner_keys);
+  owner.SetTime(1'000);
+
+  ASSERT_TRUE(owner.CreateCrdt("s", crdt::CrdtType::kGSet,
+                               crdt::ValueType::kStr,
+                               csm::AclPolicy::AllowAll()).ok());
+  ASSERT_TRUE(owner.AppendOp("s", "add", {crdt::Value::OfStr("x")}).ok());
+  EXPECT_TRUE(owner.state().FindCrdtAs<crdt::GSet>("s")->Contains(
+      crdt::Value::OfStr("x")));
+  EXPECT_TRUE(
+      chain::AuditDag(owner.dag(), owner.state().membership()).clean());
+}
+
+}  // namespace
+}  // namespace vegvisir
