@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.h"
 #include "node/cluster.h"
 #include "sim/topology.h"
 
@@ -38,7 +39,10 @@ Result Run(bool clique, int n, const std::vector<int>& adversaries) {
   cluster.RunFor(40'000);
 
   const auto h = cluster.node(0).AddWitnessBlock();
-  if (!h.ok()) return {};
+  if (!h.ok()) {
+    benchio::Collector().Merge(cluster.AggregateSnapshot());
+    return {};
+  }
   const sim::TimeMs start = cluster.simulator().now();
   const sim::TimeMs deadline = start + 300'000;
 
@@ -61,6 +65,7 @@ Result Run(bool clique, int n, const std::vector<int>& adversaries) {
   }
   result.delivery =
       static_cast<double>(honest_reached()) / honest_total;
+  benchio::Collector().Merge(cluster.AggregateSnapshot());
   return result;
 }
 
@@ -102,5 +107,6 @@ int main() {
       "k-honest-neighbour assumption holds). On the ring, adversaries\n"
       "sever the honest path and delivery collapses — exactly the failure\n"
       "mode the paper's adversary model excludes.\n");
+  benchio::WriteBench("adversary");
   return 0;
 }

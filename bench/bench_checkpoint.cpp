@@ -8,6 +8,8 @@
 // trade-off that complements the paper's §IV-I storage offload.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <memory>
 #include <vector>
 
@@ -72,7 +74,7 @@ StateMachine BuildState(const ChainFixture& fx) {
 void BM_ReplayFromBlocks(benchmark::State& state) {
   const ChainFixture& fx = FixtureOfLength(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    StateMachine sm;
+    StateMachine sm(StateMachineConfig{}, &benchio::Sink());
     sm.ApplyBlock(fx.genesis);
     for (const chain::Block& b : fx.blocks) sm.ApplyBlock(b);
     benchmark::DoNotOptimize(sm.AppliedBlockCount());
@@ -90,6 +92,8 @@ void BM_SnapshotSave(benchmark::State& state) {
     bytes = snapshot.size();
     benchmark::DoNotOptimize(snapshot.data());
   }
+  benchio::Sink().metrics.GetCounter("bench.checkpoint.snapshots_saved")
+      .Inc(static_cast<std::uint64_t>(state.iterations()));
   state.SetLabel(std::to_string(state.range(0)) + " blocks, " +
                  std::to_string(bytes) + " B");
 }
@@ -100,7 +104,7 @@ void BM_SnapshotLoad(benchmark::State& state) {
       BuildState(FixtureOfLength(static_cast<int>(state.range(0))));
   const Bytes snapshot = sm.SaveSnapshot();
   for (auto _ : state) {
-    StateMachine restored;
+    StateMachine restored(StateMachineConfig{}, &benchio::Sink());
     const Status s = restored.LoadSnapshot(snapshot);
     benchmark::DoNotOptimize(s.ok());
   }
@@ -132,4 +136,11 @@ BENCHMARK(BM_SnapshotSaveCompacted)->Arg(256)->Arg(1024)->Arg(4096);
 }  // namespace
 }  // namespace vegvisir::csm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  vegvisir::benchio::WriteBench("checkpoint");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared telemetry plumbing for the benchmark binaries.
+//
+// Every bench dumps a machine-readable BENCH_<name>.json next to its
+// stdout tables (see telemetry/bench_io.h), sourced from the metrics
+// registry rather than ad-hoc printf totals. Two usage patterns:
+//
+//   - Scenario benches hand Sink() to the nodes they build directly
+//     (NodeConfig::telemetry) and merge each Cluster's
+//     AggregateSnapshot() into Collector(); WriteBench() emits the
+//     union of both at exit.
+//   - google-benchmark binaries count work into Sink() from their
+//     loops (or pass it to the state machines they construct) and
+//     call WriteBench() from a custom main after RunSpecifiedBenchmarks.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "telemetry/bench_io.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace vegvisir::benchio {
+
+// Process-wide sink; leaked so handles stay valid through exit.
+inline telemetry::Telemetry& Sink() {
+  static telemetry::Telemetry* t = new telemetry::Telemetry();
+  return *t;
+}
+
+// Cluster-style benches merge each run's aggregate snapshot here.
+inline telemetry::Snapshot& Collector() {
+  static telemetry::Snapshot* s = new telemetry::Snapshot();
+  return *s;
+}
+
+// Writes BENCH_<name>.json from Sink() merged with Collector().
+inline void WriteBench(const char* name,
+                       std::vector<telemetry::BenchValue> extra = {}) {
+  telemetry::Snapshot out = Sink().metrics.TakeSnapshot();
+  out.Merge(Collector());
+  (void)telemetry::WriteBenchJson(name, out, std::move(extra));
+}
+
+}  // namespace vegvisir::benchio

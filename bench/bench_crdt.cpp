@@ -5,6 +5,8 @@
 // convergence fingerprint as state grows.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "crdt/crdt.h"
 #include "util/rng.h"
 
@@ -73,6 +75,8 @@ void BM_CrdtApply(benchmark::State& state) {
   for (auto _ : state) {
     ApplyOne(crdt.get(), type, i++, &rng);
   }
+  benchio::Sink().metrics.GetCounter("bench.crdt.ops_applied")
+      .Inc(static_cast<std::uint64_t>(state.iterations()));
   state.SetLabel(CrdtTypeName(type));
 }
 BENCHMARK(BM_CrdtApply)->DenseRange(0, 9, 1);
@@ -109,4 +113,11 @@ BENCHMARK(BM_CrdtCheckOp);
 }  // namespace
 }  // namespace vegvisir::crdt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  vegvisir::benchio::WriteBench("crdt");
+  return 0;
+}

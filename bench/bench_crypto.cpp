@@ -5,6 +5,8 @@
 // latency, ChaCha20 sealing, DRBG generation.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "crypto/chacha20.h"
 #include "crypto/drbg.h"
 #include "crypto/ed25519.h"
@@ -23,6 +25,8 @@ void BM_Sha256(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
+  benchio::Sink().metrics.GetCounter("bench.crypto.sha256_bytes")
+      .Inc(static_cast<std::uint64_t>(state.iterations() * state.range(0)));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(65536);
 
@@ -62,6 +66,8 @@ void BM_Ed25519Sign(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(kp.Sign(msg));
   }
+  benchio::Sink().metrics.GetCounter("bench.crypto.signs")
+      .Inc(static_cast<std::uint64_t>(state.iterations()));
 }
 BENCHMARK(BM_Ed25519Sign)->Arg(64)->Arg(1024);
 
@@ -73,6 +79,8 @@ void BM_Ed25519Verify(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(Verify(kp.public_key(), msg, sig));
   }
+  benchio::Sink().metrics.GetCounter("bench.crypto.verifies")
+      .Inc(static_cast<std::uint64_t>(state.iterations()));
 }
 BENCHMARK(BM_Ed25519Verify)->Arg(64)->Arg(1024);
 
@@ -104,4 +112,11 @@ BENCHMARK(BM_DrbgGenerate)->Arg(32)->Arg(1024);
 }  // namespace
 }  // namespace vegvisir::crypto
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  vegvisir::benchio::WriteBench("crypto");
+  return 0;
+}

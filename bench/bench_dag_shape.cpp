@@ -9,6 +9,7 @@
 // transaction count.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "baseline/tangle.h"
 #include "node/cluster.h"
 #include "sim/topology.h"
@@ -66,6 +67,7 @@ ShapeResult RunVegvisir(int groups, sim::TimeMs gossip_period) {
   result.mean_parents =
       static_cast<double>(parent_sum) / static_cast<double>(dag.Size() - 1);
   result.blocks = dag.Size();
+  benchio::Collector().Merge(cluster.AggregateSnapshot());
   return result;
 }
 
@@ -118,5 +120,6 @@ int main() {
       "The tangle, by contrast, keeps a persistent tip population\n"
       "(~arrival concurrency) by design: tips are its throughput\n"
       "mechanism, not a partition symptom.\n");
+  benchio::WriteBench("dag_shape");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "baseline/pow_chain.h"
 #include "node/cluster.h"
 #include "sim/topology.h"
@@ -49,6 +50,7 @@ double VegvisirMillijoulesPerTx() {
 
   double total_mj = 0;
   for (int i = 0; i < kNodes; ++i) total_mj += cluster.meter(i).total_mj();
+  benchio::Collector().Merge(cluster.AggregateSnapshot());
   return total_mj / committed;
 }
 
@@ -145,5 +147,6 @@ int main() {
       "~3 bits, while any security-relevant difficulty (a deployed chain\n"
       "must outpace its strongest attacker; Bitcoin runs ~2^78) sits 50+\n"
       "bits past it — the paper's 'tens of TWh per year' point.\n");
+  benchio::WriteBench("energy");
   return 0;
 }

@@ -6,6 +6,7 @@
 // field (sparse networks propagate through multi-hop gossip).
 #include <cstdio>
 
+#include "bench_common.h"
 #include "node/cluster.h"
 #include "sim/topology.h"
 
@@ -33,6 +34,7 @@ Result MeasurePropagation(node::Cluster* cluster, int n) {
   for (int i = 0; i < n; ++i) {
     bytes += static_cast<double>(cluster->gossip(i).stats().initiator.bytes_sent);
   }
+  benchio::Collector().Merge(cluster->AggregateSnapshot());
   return {(cluster->simulator().now() - start) / 1000.0, bytes / n,
           cluster->CountHaving(*h) == n};
 }
@@ -91,5 +93,6 @@ int main() {
       "sparser unit-disk networks take longer (multi-hop); loss degrades\n"
       "latency gracefully — gossip retries every period, so even 50%%\n"
       "loss only slows convergence, never prevents it.\n");
+  benchio::WriteBench("gossip_convergence");
   return 0;
 }

@@ -7,6 +7,7 @@
 // survived.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "baseline/pow_chain.h"
 #include "node/cluster.h"
 #include "sim/topology.h"
@@ -52,6 +53,7 @@ VegvisirResult RunVegvisir(int n, int groups, sim::TimeMs duration_ms) {
     if (cluster.CountHaving(h) == n) ++result.survived;
   }
   result.converged = cluster.Converged();
+  benchio::Collector().Merge(cluster.AggregateSnapshot());
   return result;
 }
 
@@ -127,5 +129,6 @@ int main() {
       "converges; the PoW chain discards every block mined on losing\n"
       "forks — transactions users saw 'confirmed' are undone, the\n"
       "double-spend window the paper warns about.\n");
+  benchio::WriteBench("partition");
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "baseline/full_exchange.h"
+#include "bench_common.h"
 #include "chain/genesis.h"
 #include "crypto/drbg.h"
 #include "node/node.h"
@@ -44,6 +45,7 @@ Pair MakePair(int shared, int d, bool bush) {
                                                                   owner);
   node::NodeConfig cfg;
   cfg.user_id = "owner";
+  cfg.telemetry = &benchio::Sink();
   Pair p;
   p.initiator = std::make_unique<node::Node>(cfg, genesis, owner);
   p.responder = std::make_unique<node::Node>(cfg, genesis, owner);
@@ -138,5 +140,6 @@ int main() {
       "block-push on deep chains (level escalation re-ships bodies);\n"
       "bloom closes any gap shape in one round for a filter-sized\n"
       "overhead (~10 bits per known block).\n");
+  benchio::WriteBench("reconciliation");
   return 0;
 }

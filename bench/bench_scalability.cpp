@@ -8,6 +8,7 @@
 // radio energy — the numbers a deployment engineer would ask for.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "node/cluster.h"
 #include "sim/topology.h"
 
@@ -67,6 +68,7 @@ Result Run(int n, recon::ReconConfig::Mode mode) {
       result.committed == 0 ? 0 : bytes / n / result.committed;
   result.mj_per_node = mj / n;
   result.blocks = cluster.node(0).dag().Size();
+  benchio::Collector().Merge(cluster.AggregateSnapshot());
   return result;
 }
 
@@ -98,5 +100,6 @@ int main() {
       "\nExpected shape: convergence holds at every size; per-transaction\n"
       "gossip cost grows mildly with n (each block crosses more links);\n"
       "bloom mode trims the steady-state reconciliation bytes.\n");
+  benchio::WriteBench("scalability");
   return 0;
 }

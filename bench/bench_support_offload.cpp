@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.h"
 #include "node/cluster.h"
 #include "sim/topology.h"
 #include "support/superpeer.h"
@@ -101,9 +102,13 @@ int main() {
                     inst.config.offload ? inst.storage->stats().evictions
                                         : 0));
   }
+  for (auto& inst : instances) {
+    benchio::Collector().Merge(inst.cluster->AggregateSnapshot());
+  }
   std::printf(
       "\nExpected shape: without offload storage grows linearly with the\n"
       "load; with offload it plateaus at the budget while the block count\n"
       "('knows') keeps growing — history is preserved on the support chain.\n");
+  benchio::WriteBench("support_offload");
   return 0;
 }

@@ -5,6 +5,8 @@
 // the hot path of every reconciliation merge.)
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <memory>
 
 #include "chain/block.h"
@@ -89,6 +91,8 @@ void BM_ValidateBlock(benchmark::State& state) {
     benchmark::DoNotOptimize(
         ValidateBlock(block, dag, membership, 10'000));
   }
+  benchio::Sink().metrics.GetCounter("bench.validation.blocks_validated")
+      .Inc(static_cast<std::uint64_t>(state.iterations()));
   state.SetLabel(std::to_string(state.range(0)) + " txs");
 }
 BENCHMARK(BM_ValidateBlock)->Arg(0)->Arg(16)->Arg(64);
@@ -152,12 +156,16 @@ void BM_CsmApplyBlock(benchmark::State& state) {
   }
 
   std::size_t i = 0;
-  auto sm = std::make_unique<csm::StateMachine>();
+  // Apply through the shared bench sink so csm.applied_* land in the
+  // registry dump.
+  auto sm = std::make_unique<csm::StateMachine>(csm::StateMachineConfig{},
+                                                &benchio::Sink());
   sm->ApplyBlock(genesis);
   for (auto _ : state) {
     if (i == blocks.size()) {
       state.PauseTiming();
-      sm = std::make_unique<csm::StateMachine>();
+      sm = std::make_unique<csm::StateMachine>(csm::StateMachineConfig{},
+                                               &benchio::Sink());
       sm->ApplyBlock(genesis);
       i = 0;
       state.ResumeTiming();
@@ -192,4 +200,11 @@ BENCHMARK(BM_FrontierLevelQuery)->Arg(1)->Arg(8)->Arg(64);
 }  // namespace
 }  // namespace vegvisir::chain
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  vegvisir::benchio::WriteBench("validation");
+  return 0;
+}

@@ -8,6 +8,7 @@
 // acking its peers would.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "node/cluster.h"
 #include "sim/topology.h"
 
@@ -31,10 +32,12 @@ double TimeToWitness(int n, std::size_t k, sim::TimeMs witness_period_ms) {
   const sim::TimeMs start = cluster.simulator().now();
   const sim::TimeMs deadline = start + 600'000;
 
+  double out = -1;
   sim::TimeMs next_witness = start + witness_period_ms;
   while (cluster.simulator().now() < deadline) {
     if (cluster.node(0).IsPersistent(*target, k)) {
-      return (cluster.simulator().now() - start) / 1000.0;
+      out = (cluster.simulator().now() - start) / 1000.0;
+      break;
     }
     cluster.RunFor(500);
     if (cluster.simulator().now() >= next_witness) {
@@ -43,7 +46,8 @@ double TimeToWitness(int n, std::size_t k, sim::TimeMs witness_period_ms) {
       next_witness += witness_period_ms;
     }
   }
-  return -1;
+  benchio::Collector().Merge(cluster.AggregateSnapshot());
+  return out;
 }
 
 }  // namespace
@@ -63,5 +67,6 @@ int main() {
       "\nExpected shape: latency grows with k (more distinct signers must\n"
       "both receive the block and have their acks travel back) and with\n"
       "the ack period; it stays in seconds — no mining, no global rounds.\n");
+  benchio::WriteBench("witness");
   return 0;
 }

@@ -25,6 +25,21 @@ recon::SessionStats RunFullDagExchange(recon::ReconHost* initiator,
       stats.blocks_inserted += 1;
     }
   }
+
+  // Mirror the totals into the initiator's registry so baseline runs
+  // show up next to recon.* in exported snapshots. A one-shot
+  // exchange, so resolving here (not hot-path) is fine.
+  if (telemetry::Telemetry* t = initiator->telemetry(); t != nullptr) {
+    t->metrics.GetCounter("baseline.full_exchange.runs").Inc();
+    t->metrics.GetCounter("baseline.full_exchange.bytes_sent")
+        .Inc(stats.bytes_sent);
+    t->metrics.GetCounter("baseline.full_exchange.bytes_received")
+        .Inc(stats.bytes_received);
+    t->metrics.GetCounter("baseline.full_exchange.blocks_received")
+        .Inc(stats.blocks_received);
+    t->metrics.GetCounter("baseline.full_exchange.blocks_inserted")
+        .Inc(stats.blocks_inserted);
+  }
   return stats;
 }
 

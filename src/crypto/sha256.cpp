@@ -92,6 +92,7 @@ void Sha256::Compress(const std::uint8_t* block) {
 }
 
 void Sha256::Update(ByteSpan data) {
+  if (data.empty()) return;  // also: memcpy from a null span is UB
   bit_count_ += std::uint64_t{data.size()} * 8;
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

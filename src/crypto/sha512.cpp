@@ -109,6 +109,7 @@ void Sha512::Compress(const std::uint8_t* block) {
 }
 
 void Sha512::Update(ByteSpan data) {
+  if (data.empty()) return;  // also: memcpy from a null span is UB
   const std::uint64_t bits = std::uint64_t{data.size()} * 8;
   const std::uint64_t old_lo = bit_count_lo_;
   bit_count_lo_ += bits;

@@ -19,8 +19,27 @@ bool IsReservedName(const std::string& name) {
 
 }  // namespace
 
-StateMachine::StateMachine(StateMachineConfig config)
-    : config_(std::move(config)), meta_(crdt::ValueType::kStr) {}
+StateMachine::StateMachine(StateMachineConfig config,
+                           telemetry::Telemetry* telemetry)
+    : config_(std::move(config)),
+      owned_(telemetry == nullptr ? std::make_unique<telemetry::Telemetry>()
+                                  : nullptr),
+      telem_(telemetry == nullptr ? owned_.get() : telemetry),
+      c_applied_blocks_(telem_->metrics.GetCounter("csm.applied_blocks")),
+      c_applied_txns_(telem_->metrics.GetCounter("csm.applied_txns")),
+      c_rejected_txns_(telem_->metrics.GetCounter("csm.rejected_txns")),
+      c_duplicate_creates_(
+          telem_->metrics.GetCounter("csm.duplicate_creates")),
+      meta_(crdt::ValueType::kStr) {}
+
+StateMachine::Stats StateMachine::stats() const {
+  Stats s;
+  s.applied_blocks = c_applied_blocks_.value();
+  s.applied_txns = c_applied_txns_.value();
+  s.rejected_txns = c_rejected_txns_.value();
+  s.duplicate_creates = c_duplicate_creates_.value();
+  return s;
+}
 
 void StateMachine::ApplyBlock(const chain::Block& block) {
   const chain::BlockHash h = block.hash();
@@ -34,7 +53,11 @@ void StateMachine::ApplyBlock(const chain::Block& block) {
     ctx.timestamp = block.header().timestamp_ms;
     ApplyTx(block.transactions()[i], ctx, h);
   }
-  stats_.applied_blocks += 1;
+  c_applied_blocks_.Inc();
+  // Block timestamps live in the same millisecond domain as the
+  // simulated clock, so they are the natural trace time here.
+  telem_->trace.RecordInstant("csm.apply", block.header().timestamp_ms,
+                              block.transactions().size());
 }
 
 void StateMachine::ApplyTx(const chain::Transaction& tx,
@@ -72,7 +95,7 @@ void StateMachine::ApplyUsersTx(const chain::Transaction& tx,
       Reject(ctx, "enrolment refused: " + s.ToString());
       return;
     }
-    stats_.applied_txns += 1;
+    c_applied_txns_.Inc();
     return;
   }
 
@@ -87,7 +110,7 @@ void StateMachine::ApplyUsersTx(const chain::Transaction& tx,
       Reject(ctx, "revocation refused: " + s.ToString());
       return;
     }
-    stats_.applied_txns += 1;
+    c_applied_txns_.Inc();
     return;
   }
 
@@ -106,7 +129,7 @@ void StateMachine::ApplyMetaTx(const chain::Transaction& tx,
     Reject(ctx, "__meta__ op failed: " + s.ToString());
     return;
   }
-  stats_.applied_txns += 1;
+  c_applied_txns_.Inc();
 }
 
 void StateMachine::ApplyOmegaTx(const chain::Transaction& tx,
@@ -170,18 +193,18 @@ void StateMachine::ApplyOmegaTx(const chain::Transaction& tx,
   if (it != omega_.end()) {
     if (ctx.tx_id >= it->second.creation_tx_id) {
       // Deterministic loser of a name race (or a literal duplicate).
-      stats_.duplicate_creates += 1;
+      c_duplicate_creates_.Inc();
       return;
     }
     if (config_.compact_op_log) {
       // The log was compacted away, so the late winner cannot replay:
       // keep the incumbent (first-create-wins-by-arrival; see the
       // compact_op_log documentation for the trade-off).
-      stats_.duplicate_creates += 1;
+      c_duplicate_creates_.Inc();
       return;
     }
     // This create wins the race: rebuild and replay below.
-    stats_.duplicate_creates += 1;
+    c_duplicate_creates_.Inc();
   }
 
   Instance inst;
@@ -191,7 +214,7 @@ void StateMachine::ApplyOmegaTx(const chain::Transaction& tx,
   inst.policy = *std::move(policy);
   inst.crdt = crdt::CreateCrdt(type, element_type);
   omega_[name] = std::move(inst);
-  stats_.applied_txns += 1;
+  c_applied_txns_.Inc();
 
   // Replay the operation log (parked ops, or everything after a
   // create-race winner change). Replays do not recount stats.
@@ -234,11 +257,11 @@ void StateMachine::RunOp(Instance& inst, const OpRecord& rec,
     if (count_stats) Reject(rec.ctx, s.ToString());
     return;
   }
-  if (count_stats) stats_.applied_txns += 1;
+  if (count_stats) c_applied_txns_.Inc();
 }
 
 void StateMachine::Reject(const crdt::OpContext& ctx, std::string reason) {
-  stats_.rejected_txns += 1;
+  c_rejected_txns_.Inc();
   if (rejections_.size() < config_.max_rejection_log) {
     rejections_.push_back(Rejection{ctx.tx_id, std::move(reason)});
   }
@@ -431,8 +454,14 @@ Status StateMachine::LoadSnapshot(ByteSpan data) {
   }
   VEGVISIR_RETURN_IF_ERROR(r.ExpectEnd());
 
-  loaded.stats_.applied_blocks = loaded.applied_blocks_.size();
-  *this = std::move(loaded);
+  // Field-wise adoption of the decoded state: this machine keeps its
+  // telemetry plumbing (the counters are operational, not state).
+  membership_ = std::move(loaded.membership_);
+  meta_ = std::move(loaded.meta_);
+  omega_ = std::move(loaded.omega_);
+  op_log_ = std::move(loaded.op_log_);
+  applied_blocks_ = std::move(loaded.applied_blocks_);
+  rejections_ = std::move(loaded.rejections_);
   return Status::Ok();
 }
 

@@ -36,6 +36,7 @@
 #include "crdt/map.h"
 #include "csm/acl.h"
 #include "csm/membership.h"
+#include "telemetry/telemetry.h"
 #include "util/bytes.h"
 
 namespace vegvisir::csm {
@@ -61,7 +62,11 @@ struct StateMachineConfig {
 
 class StateMachine {
  public:
-  explicit StateMachine(StateMachineConfig config = {});
+  // `telemetry` is the sink the csm.* metrics and apply trace events
+  // flow into (a Node passes its per-node bundle). Null means the
+  // machine owns a private bundle, so standalone use keeps working.
+  explicit StateMachine(StateMachineConfig config = {},
+                        telemetry::Telemetry* telemetry = nullptr);
 
   // Applies every transaction in a chain-valid block. Idempotent per
   // block hash.
@@ -90,13 +95,20 @@ class StateMachine {
   const crdt::LwwMap& meta() const { return meta_; }
   std::string ChainName() const;
 
+  // Operational counters, routed through the telemetry registry
+  // (csm.applied_blocks, csm.applied_txns, csm.rejected_txns,
+  // csm.duplicate_creates). They count what this process did and are
+  // monotonic — LoadSnapshot does not rewind them; use
+  // AppliedBlockCount() for the state's lineage.
   struct Stats {
     std::uint64_t applied_blocks = 0;
     std::uint64_t applied_txns = 0;    // accepted and applied
     std::uint64_t rejected_txns = 0;   // failed a deterministic check
     std::uint64_t duplicate_creates = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+
+  telemetry::Telemetry* telemetry() const { return telem_; }
 
   // Operations waiting for their CRDT's create to arrive.
   std::size_t PendingOpCount() const;
@@ -163,6 +175,17 @@ class StateMachine {
   void Reject(const crdt::OpContext& ctx, std::string reason);
 
   StateMachineConfig config_;
+  // Telemetry plumbing: `owned_` is the private fallback bundle (null
+  // when an external sink was provided); handles point into whichever
+  // registry `telem_` names and stay valid across moves (the bundle
+  // is heap-allocated).
+  std::unique_ptr<telemetry::Telemetry> owned_;
+  telemetry::Telemetry* telem_ = nullptr;
+  telemetry::Counter c_applied_blocks_;
+  telemetry::Counter c_applied_txns_;
+  telemetry::Counter c_rejected_txns_;
+  telemetry::Counter c_duplicate_creates_;
+
   Membership membership_;
   crdt::LwwMap meta_;
 
@@ -172,7 +195,6 @@ class StateMachine {
   std::map<std::string, std::vector<OpRecord>> op_log_;
 
   std::set<chain::BlockHash> applied_blocks_;
-  Stats stats_;
   std::vector<Rejection> rejections_;
 };
 

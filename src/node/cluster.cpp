@@ -17,8 +17,10 @@ crypto::KeyPair KeysFor(std::uint64_t cluster_seed, int index) {
 
 Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
     : config_(std::move(config)), owner_keys_(KeysFor(config_.seed, 0)) {
+  net_telem_ = std::make_unique<telemetry::Telemetry>();
   network_ = std::make_unique<sim::Network>(&simulator_, topology,
-                                            config_.link, config_.seed ^ 1);
+                                            config_.link, config_.seed ^ 1,
+                                            net_telem_.get());
 
   const chain::Block genesis = chain::GenesisBuilder(config_.chain_name)
                                    .WithTimestamp(1)
@@ -33,6 +35,8 @@ Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
     NodeConfig cfg = config_.node_template;
     cfg.user_id = (i == 0) ? "owner" : "user-" + std::to_string(i);
     cfg.drop_foreign_blocks = is_adversary(i);
+    telemetry_.push_back(std::make_unique<telemetry::Telemetry>());
+    cfg.telemetry = telemetry_.back().get();
     auto node = std::make_unique<Node>(cfg, genesis,
                                        i == 0 ? owner_keys_
                                               : KeysFor(config_.seed, i));
@@ -65,6 +69,14 @@ Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
     engine->Start(meters_[static_cast<std::size_t>(i)].get());
     gossips_.push_back(std::move(engine));
   }
+}
+
+telemetry::Snapshot Cluster::AggregateSnapshot() const {
+  telemetry::Snapshot total = net_telem_->metrics.TakeSnapshot();
+  for (const auto& t : telemetry_) {
+    total.Merge(t->metrics.TakeSnapshot());
+  }
+  return total;
 }
 
 void Cluster::RunFor(sim::TimeMs duration) {

@@ -15,6 +15,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
+#include "telemetry/telemetry.h"
 
 namespace vegvisir::node {
 
@@ -63,9 +64,24 @@ class Cluster {
   // The honest nodes' indexes.
   const std::vector<int>& honest() const { return honest_; }
 
+  // ---- telemetry ----------------------------------------------------
+  // Per-node bundle (node i's node.*, csm.*, recon.*, gossip.* series
+  // and its trace ring).
+  telemetry::Telemetry& telemetry(int i) {
+    return *telemetry_[static_cast<std::size_t>(i)];
+  }
+  // The shared network's bundle (net.* series).
+  telemetry::Telemetry& network_telemetry() { return *net_telem_; }
+  // One snapshot summing every node's registry plus the network's —
+  // the cluster-wide totals a bench dumps to BENCH_<name>.json.
+  telemetry::Snapshot AggregateSnapshot() const;
+
  private:
   ClusterConfig config_;
   sim::Simulator simulator_;
+  // Bundles are created before the components that write into them.
+  std::vector<std::unique_ptr<telemetry::Telemetry>> telemetry_;
+  std::unique_ptr<telemetry::Telemetry> net_telem_;
   std::unique_ptr<sim::Network> network_;
   crypto::KeyPair owner_keys_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -21,7 +21,10 @@ GossipEngine::GossipEngine(Node* node, sim::Simulator* simulator,
       id_(id),
       config_(config),
       rng_(seed),
-      responder_(node, node->recon_config()) {}
+      responder_(node, node->recon_config()),
+      c_ticks_(node->telemetry()->metrics.GetCounter("gossip.ticks")),
+      c_timed_out_(node->telemetry()->metrics.GetCounter(
+          "gossip.sessions_timed_out")) {}
 
 void GossipEngine::Start(sim::EnergyMeter* meter) {
   running_ = true;
@@ -35,7 +38,9 @@ void GossipEngine::Start(sim::EnergyMeter* meter) {
 
 void GossipEngine::Tick() {
   if (!running_) return;
-  stats_.ticks += 1;
+  c_ticks_.Inc();
+  node_->telemetry()->trace.RecordInstant("gossip.tick", simulator_->now(),
+                                          id_);
   ExpireSessions();
 
   if (config_.enabled) {
@@ -54,10 +59,11 @@ void GossipEngine::Tick() {
       active.session = std::make_unique<recon::InitiatorSession>(
           node_, session_cfg);
       active.peer = peer;
-      active.last_activity_ms = simulator_->now();
+      active.started_ms = simulator_->now();
+      active.last_activity_ms = active.started_ms;
+      // The session itself counts recon.initiator.sessions_started.
       const Bytes first = active.session->Start();
       sessions_.emplace(session_id, std::move(active));
-      stats_.sessions_started += 1;
       SendEnvelope(peer, kToResponder, session_id, first);
     }
   }
@@ -115,13 +121,15 @@ void GossipEngine::SendEnvelope(sim::NodeId to, std::uint8_t direction,
 void GossipEngine::FinishSession(std::uint64_t session_id, bool failed) {
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
-  stats_.initiator.Accumulate(it->second.session->stats());
+  // Traffic and completion counters live in the session; the engine
+  // records the span (peer, escalation depth reached) for the tracer.
+  node_->telemetry()->trace.RecordSpan(
+      "recon.session", it->second.started_ms, simulator_->now(),
+      it->second.peer, it->second.session->level());
   if (failed) {
-    stats_.sessions_failed += 1;
     resume_level_[it->second.peer] = std::max(
         resume_level_[it->second.peer], it->second.session->level());
   } else {
-    stats_.sessions_completed += 1;
     resume_level_.erase(it->second.peer);
   }
   sessions_.erase(it);
@@ -131,8 +139,10 @@ void GossipEngine::ExpireSessions() {
   const sim::TimeMs now = simulator_->now();
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (now - it->second.last_activity_ms > config_.session_timeout_ms) {
-      stats_.sessions_timed_out += 1;
-      stats_.initiator.Accumulate(it->second.session->stats());
+      c_timed_out_.Inc();
+      node_->telemetry()->trace.RecordSpan(
+          "recon.session.timeout", it->second.started_ms, now,
+          it->second.peer, it->second.session->level());
       // Resume the next session toward this peer where this one
       // stalled (lost message mid-escalation).
       resume_level_[it->second.peer] = std::max(
@@ -142,6 +152,25 @@ void GossipEngine::ExpireSessions() {
       ++it;
     }
   }
+}
+
+GossipStats GossipEngine::stats() const {
+  const telemetry::MetricsRegistry& m = node_->telemetry()->metrics;
+  GossipStats s;
+  s.ticks = m.CounterValue("gossip.ticks");
+  s.sessions_started = m.CounterValue("recon.initiator.sessions_started");
+  s.sessions_completed = m.CounterValue("recon.initiator.sessions_completed");
+  s.sessions_failed = m.CounterValue("recon.initiator.sessions_failed");
+  s.sessions_timed_out = m.CounterValue("gossip.sessions_timed_out");
+  s.initiator.rounds = m.CounterValue("recon.initiator.rounds");
+  s.initiator.bytes_sent = m.CounterValue("recon.initiator.bytes_sent");
+  s.initiator.bytes_received = m.CounterValue("recon.initiator.bytes_received");
+  s.initiator.blocks_received =
+      m.CounterValue("recon.initiator.blocks_received");
+  s.initiator.blocks_inserted =
+      m.CounterValue("recon.initiator.blocks_inserted");
+  s.initiator.blocks_pushed = m.CounterValue("recon.initiator.blocks_pushed");
+  return s;
 }
 
 }  // namespace vegvisir::node

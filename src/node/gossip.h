@@ -32,13 +32,17 @@ struct GossipConfig {
   bool enabled = true;  // adversaries may refuse to initiate
 };
 
+// Engine-level view over the node's telemetry registry: gossip.* for
+// the engine's own counters, recon.initiator.* for session traffic.
+// Assembled on demand; the initiator traffic counts *live*, i.e. it
+// includes sessions still in flight.
 struct GossipStats {
   std::uint64_t ticks = 0;
   std::uint64_t sessions_started = 0;
   std::uint64_t sessions_completed = 0;
   std::uint64_t sessions_failed = 0;
   std::uint64_t sessions_timed_out = 0;
-  recon::SessionStats initiator;  // accumulated over finished sessions
+  recon::SessionStats initiator;
 };
 
 class GossipEngine {
@@ -53,7 +57,7 @@ class GossipEngine {
   // Stops initiating (in-flight sessions keep draining).
   void Stop() { running_ = false; }
 
-  const GossipStats& stats() const { return stats_; }
+  GossipStats stats() const;
   const recon::SessionStats& responder_stats() const {
     return responder_.stats();
   }
@@ -63,6 +67,7 @@ class GossipEngine {
   struct ActiveSession {
     std::unique_ptr<recon::InitiatorSession> session;
     sim::NodeId peer;
+    sim::TimeMs started_ms;
     sim::TimeMs last_activity_ms;
   };
 
@@ -88,7 +93,10 @@ class GossipEngine {
   // catch-ups make progress across sessions even on lossy links.
   std::map<sim::NodeId, std::uint32_t> resume_level_;
   recon::ResponderSession responder_;
-  GossipStats stats_;
+  // Engine-only counters (session traffic is counted by the sessions
+  // themselves, into the same per-node registry).
+  telemetry::Counter c_ticks_;
+  telemetry::Counter c_timed_out_;
 };
 
 }  // namespace vegvisir::node

@@ -9,8 +9,20 @@ namespace vegvisir::node {
 Node::Node(NodeConfig config, chain::Block genesis, crypto::KeyPair keys)
     : config_(std::move(config)),
       keys_(std::move(keys)),
+      owned_telem_(config_.telemetry != nullptr
+                       ? nullptr
+                       : std::make_unique<telemetry::Telemetry>()),
+      telem_(config_.telemetry != nullptr ? config_.telemetry
+                                          : owned_telem_.get()),
+      c_blocks_created_(telem_->metrics.GetCounter("node.blocks_created")),
+      c_blocks_accepted_(telem_->metrics.GetCounter("node.blocks_accepted")),
+      c_blocks_rejected_(telem_->metrics.GetCounter("node.blocks_rejected")),
+      c_blocks_quarantined_(
+          telem_->metrics.GetCounter("node.blocks_quarantined")),
+      c_foreign_dropped_(telem_->metrics.GetCounter("node.foreign_dropped")),
+      g_quarantine_size_(telem_->metrics.GetGauge("node.quarantine_size")),
       dag_(genesis),
-      csm_(config_.csm) {
+      csm_(config_.csm, telem_) {
   clock_ = [this] { return manual_time_ms_; };
   // The genesis block bootstraps the CA and the membership set.
   csm_.ApplyBlock(*dag_.Find(dag_.genesis_hash()));
@@ -31,7 +43,7 @@ StatusOr<std::unique_ptr<Node>> Node::Restore(NodeConfig config,
   // Try the snapshot first: it must cover exactly the DAG's blocks.
   bool snapshot_ok = false;
   if (!csm_snapshot.empty()) {
-    csm::StateMachine candidate(node->config_.csm);
+    csm::StateMachine candidate(node->config_.csm, node->telem_);
     if (candidate.LoadSnapshot(csm_snapshot).ok() &&
         candidate.AppliedBlockCount() == dag.Size()) {
       snapshot_ok = true;
@@ -47,7 +59,7 @@ StatusOr<std::unique_ptr<Node>> Node::Restore(NodeConfig config,
 
   if (!snapshot_ok) {
     // Deterministic full replay; every body must be present.
-    csm::StateMachine fresh(node->config_.csm);
+    csm::StateMachine fresh(node->config_.csm, node->telem_);
     for (const chain::BlockHash& h : dag.TopologicalOrder()) {
       const chain::Block* block = dag.Find(h);
       if (block == nullptr) {
@@ -119,7 +131,7 @@ StatusOr<chain::BlockHash> Node::Submit(
     return FailedPreconditionError(
         "own block failed validation (is this node enrolled?)");
   }
-  stats_.blocks_created += 1;
+  c_blocks_created_.Inc();
   return block.hash();
 }
 
@@ -158,6 +170,8 @@ chain::BlockVerdict Node::AdmitBlock(const chain::Block& block) {
     meter_->AddVerify();
     meter_->AddHash(block.EncodedSize());
   }
+  telem_->trace.RecordInstant("block.validate", NowMs(),
+                              static_cast<std::uint64_t>(result.verdict));
   switch (result.verdict) {
     case chain::BlockVerdict::kValid: {
       const Status s = dag_.Insert(block);
@@ -170,12 +184,13 @@ chain::BlockVerdict Node::AdmitBlock(const chain::Block& block) {
         quarantine_.erase(quarantine_.begin());
       }
       if (quarantine_.emplace(block.hash(), block).second) {
-        stats_.blocks_quarantined += 1;
+        c_blocks_quarantined_.Inc();
       }
+      g_quarantine_size_.Set(static_cast<double>(quarantine_.size()));
       return chain::BlockVerdict::kRetryLater;
     }
     case chain::BlockVerdict::kReject:
-      stats_.blocks_rejected += 1;
+      c_blocks_rejected_.Inc();
       return chain::BlockVerdict::kReject;
   }
   return chain::BlockVerdict::kReject;
@@ -186,14 +201,14 @@ chain::BlockVerdict Node::OfferBlock(const chain::Block& block) {
 
   if (config_.drop_foreign_blocks &&
       block.header().user_id != config_.user_id) {
-    stats_.foreign_dropped += 1;
+    c_foreign_dropped_.Inc();
     // The adversary pretends all is well while discarding the block.
     return chain::BlockVerdict::kValid;
   }
 
   const chain::BlockVerdict verdict = AdmitBlock(block);
   if (verdict == chain::BlockVerdict::kValid) {
-    stats_.blocks_accepted += 1;
+    c_blocks_accepted_.Inc();
     // Newly admitted state may unblock quarantined blocks (their
     // parents arrived, or their creator's enrolment did).
     RetryQuarantine();
@@ -223,12 +238,12 @@ void Node::RetryQuarantine() {
       if (result.verdict == chain::BlockVerdict::kValid) {
         if (dag_.Insert(block).ok()) {
           csm_.ApplyBlock(block);
-          stats_.blocks_accepted += 1;
+          c_blocks_accepted_.Inc();
         }
         it = quarantine_.erase(it);
         progress = true;
       } else if (result.verdict == chain::BlockVerdict::kReject) {
-        stats_.blocks_rejected += 1;
+        c_blocks_rejected_.Inc();
         it = quarantine_.erase(it);
         progress = true;
       } else {
@@ -236,6 +251,17 @@ void Node::RetryQuarantine() {
       }
     }
   }
+  g_quarantine_size_.Set(static_cast<double>(quarantine_.size()));
+}
+
+NodeStats Node::stats() const {
+  NodeStats s;
+  s.blocks_created = c_blocks_created_.value();
+  s.blocks_accepted = c_blocks_accepted_.value();
+  s.blocks_rejected = c_blocks_rejected_.value();
+  s.blocks_quarantined = c_blocks_quarantined_.value();
+  s.foreign_dropped = c_foreign_dropped_.value();
+  return s;
 }
 
 Bytes Node::Fingerprint() const {

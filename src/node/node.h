@@ -21,6 +21,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "csm/state_machine.h"
 #include "recon/session.h"
 #include "sim/energy.h"
+#include "telemetry/telemetry.h"
 #include "util/status.h"
 
 namespace vegvisir::node {
@@ -49,8 +51,14 @@ struct NodeConfig {
   // by others — the node neither stores nor propagates foreign
   // blocks, though it still creates and serves its own.
   bool drop_foreign_blocks = false;
+  // External telemetry sink (metrics registry + tracer). Null means
+  // the node owns a private bundle; a Cluster wires every node to a
+  // per-node registry it can aggregate (see node/cluster.h).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
+// Node-level counters, assembled on demand from the telemetry
+// registry (node.blocks_* / node.foreign_dropped).
 struct NodeStats {
   std::uint64_t blocks_created = 0;
   std::uint64_t blocks_accepted = 0;   // foreign blocks inserted
@@ -141,7 +149,12 @@ class Node final : public recon::ReconHost {
   // accepted block; exposed for clock advances).
   void RetryQuarantine();
 
-  const NodeStats& stats() const { return stats_; }
+  NodeStats stats() const;
+
+  // The node's telemetry bundle (never null): its metrics registry
+  // holds the node.*, csm.* and recon.* series for this node, and its
+  // tracer records validation/apply/session events in sim time.
+  telemetry::Telemetry* telemetry() const override { return telem_; }
 
   // Optional energy accounting (simulation): charges signing,
   // verification and hashing to the meter.
@@ -154,12 +167,22 @@ class Node final : public recon::ReconHost {
 
   NodeConfig config_;
   crypto::KeyPair keys_;
+  // Telemetry plumbing must precede csm_ (the CSM shares the node's
+  // sink). `owned_` is the fallback bundle when no external sink was
+  // configured; handles stay valid across moves (heap bundle).
+  std::unique_ptr<telemetry::Telemetry> owned_telem_;
+  telemetry::Telemetry* telem_ = nullptr;
+  telemetry::Counter c_blocks_created_;
+  telemetry::Counter c_blocks_accepted_;
+  telemetry::Counter c_blocks_rejected_;
+  telemetry::Counter c_blocks_quarantined_;
+  telemetry::Counter c_foreign_dropped_;
+  telemetry::Gauge g_quarantine_size_;
   chain::Dag dag_;
   csm::StateMachine csm_;
   std::function<std::uint64_t()> clock_;
   std::uint64_t manual_time_ms_ = 0;
   std::map<chain::BlockHash, chain::Block> quarantine_;
-  NodeStats stats_;
   sim::EnergyMeter* meter_ = nullptr;
 };
 

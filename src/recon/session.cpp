@@ -16,15 +16,37 @@ void SessionStats::Accumulate(const SessionStats& other) {
   blocks_pushed += other.blocks_pushed;
 }
 
+SessionMetrics SessionMetrics::Resolve(telemetry::Telemetry* sink,
+                                       const char* side) {
+  SessionMetrics m;
+  if (sink == nullptr) return m;  // unbound handles: no-op increments
+  telemetry::MetricsRegistry& reg = sink->metrics;
+  const std::string prefix = std::string("recon.") + side + ".";
+  m.sessions_started = reg.GetCounter(prefix + "sessions_started");
+  m.sessions_completed = reg.GetCounter(prefix + "sessions_completed");
+  m.sessions_failed = reg.GetCounter(prefix + "sessions_failed");
+  m.rounds = reg.GetCounter(prefix + "rounds");
+  m.bytes_sent = reg.GetCounter(prefix + "bytes_sent");
+  m.bytes_received = reg.GetCounter(prefix + "bytes_received");
+  m.blocks_received = reg.GetCounter(prefix + "blocks_received");
+  m.blocks_inserted = reg.GetCounter(prefix + "blocks_inserted");
+  m.blocks_pushed = reg.GetCounter(prefix + "blocks_pushed");
+  m.final_level = reg.GetHistogram(prefix + "final_level",
+                                   telemetry::PowerOfTwoBounds(10));
+  return m;
+}
+
 // --------------------------------------------------------- Initiator
 
 InitiatorSession::InitiatorSession(ReconHost* host, ReconConfig config)
     : host_(host),
       config_(config),
+      metrics_(SessionMetrics::Resolve(host->telemetry(), "initiator")),
       level_(std::max<std::uint32_t>(1, config.start_level)) {}
 
 Bytes InitiatorSession::Send(Bytes message) {
   stats_.bytes_sent += message.size();
+  metrics_.bytes_sent.Inc(message.size());
   return message;
 }
 
@@ -39,6 +61,7 @@ Bytes InitiatorSession::MakeFrontierRequest() {
   req.genesis = host_->dag().genesis_hash();
   req.frontier_digest = host_->dag().FrontierDigest();
   stats_.rounds += 1;
+  metrics_.rounds.Inc();
   return Send(EncodeMessage(req));
 }
 
@@ -55,12 +78,20 @@ Bytes InitiatorSession::MakeBloomRequest() {
   req.bloom = filter.Serialize();
   req.frontier_digest = dag.FrontierDigest();
   stats_.rounds += 1;
+  metrics_.rounds.Inc();
   return Send(EncodeMessage(req));
 }
 
 Bytes InitiatorSession::Start() {
+  metrics_.sessions_started.Inc();
   return config_.mode == ReconConfig::Mode::kBloom ? MakeBloomRequest()
                                                    : MakeFrontierRequest();
+}
+
+void InitiatorSession::MarkFailed() {
+  state_ = SessionState::kFailed;
+  metrics_.sessions_failed.Inc();
+  metrics_.final_level.Observe(static_cast<double>(level_));
 }
 
 Status InitiatorSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
@@ -68,9 +99,10 @@ Status InitiatorSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
     return FailedPreconditionError("session not running");
   }
   stats_.bytes_received += data.size();
+  metrics_.bytes_received.Inc(data.size());
   const auto type = PeekType(data);
   if (!type.ok()) {
-    state_ = SessionState::kFailed;
+    MarkFailed();
     return type.status();
   }
   Status s;
@@ -85,7 +117,7 @@ Status InitiatorSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
       s = InvalidArgumentError("unexpected message for initiator");
       break;
   }
-  if (!s.ok()) state_ = SessionState::kFailed;
+  if (!s.ok()) MarkFailed();
   return s;
 }
 
@@ -94,6 +126,7 @@ Status InitiatorSession::StashBlocks(const std::vector<Bytes>& blocks) {
     auto block = chain::Block::Deserialize(raw);
     if (!block.ok()) return block.status();
     stats_.blocks_received += 1;
+    metrics_.blocks_received.Inc();
     const chain::BlockHash h = block->hash();
     if (host_->HasBlock(h)) continue;  // already stored or quarantined
     stash_.emplace(h, *std::move(block));
@@ -123,6 +156,7 @@ bool InitiatorSession::TryMerge() {
       const chain::BlockVerdict verdict = host_->OfferBlock(block);
       if (verdict == chain::BlockVerdict::kValid) {
         stats_.blocks_inserted += 1;
+        metrics_.blocks_inserted.Inc();
       }
       // kReject: deterministically invalid, drop. kRetryLater with
       // parents known means the host quarantined it (unknown creator
@@ -261,6 +295,8 @@ Status InitiatorSession::EscalateOrFail(std::vector<Bytes>* out) {
 
 void InitiatorSession::FinishMaybePush(std::vector<Bytes>* out) {
   state_ = SessionState::kDone;
+  metrics_.sessions_completed.Inc();
+  metrics_.final_level.Observe(static_cast<double>(level_));
   if (!config_.push_back || !peer_frontier_known_) return;
 
   // The peer's DAG is exactly its frontier plus that frontier's
@@ -283,21 +319,26 @@ void InitiatorSession::FinishMaybePush(std::vector<Bytes>* out) {
   }
   if (push.blocks.empty()) return;
   stats_.blocks_pushed += push.blocks.size();
+  metrics_.blocks_pushed.Inc(push.blocks.size());
   out->push_back(Send(EncodeMessage(push)));
 }
 
 // --------------------------------------------------------- Responder
 
 ResponderSession::ResponderSession(ReconHost* host, ReconConfig config)
-    : host_(host), config_(config) {}
+    : host_(host),
+      config_(config),
+      metrics_(SessionMetrics::Resolve(host->telemetry(), "responder")) {}
 
 Bytes ResponderSession::Send(Bytes message) {
   stats_.bytes_sent += message.size();
+  metrics_.bytes_sent.Inc(message.size());
   return message;
 }
 
 Status ResponderSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
   stats_.bytes_received += data.size();
+  metrics_.bytes_received.Inc(data.size());
   const auto type = PeekType(data);
   if (!type.ok()) return type.status();
   switch (*type) {
@@ -321,6 +362,7 @@ Status ResponderSession::HandleFrontierRequest(ByteSpan data,
   }
   if (req.level < 1) return InvalidArgumentError("frontier level must be >= 1");
   stats_.rounds += 1;
+  metrics_.rounds.Inc();
 
   FrontierResponse resp;
   resp.level = req.level;
@@ -350,6 +392,7 @@ Status ResponderSession::HandleFrontierRequest(ByteSpan data,
       if (block != nullptr) resp.blocks.push_back(block->Serialize());
     }
     stats_.blocks_pushed += resp.blocks.size();
+    metrics_.blocks_pushed.Inc(resp.blocks.size());
     out->push_back(Send(EncodeMessage(resp)));
     return Status::Ok();
   }
@@ -363,6 +406,7 @@ Status ResponderSession::HandleFrontierRequest(ByteSpan data,
       if (block != nullptr) resp.blocks.push_back(block->Serialize());
     }
     stats_.blocks_pushed += resp.blocks.size();
+    metrics_.blocks_pushed.Inc(resp.blocks.size());
   }
   out->push_back(Send(EncodeMessage(resp)));
   return Status::Ok();
@@ -378,6 +422,7 @@ Status ResponderSession::HandleBlockRequest(ByteSpan data,
     if (block != nullptr) resp.blocks.push_back(block->Serialize());
   }
   stats_.blocks_pushed += resp.blocks.size();
+  metrics_.blocks_pushed.Inc(resp.blocks.size());
   out->push_back(Send(EncodeMessage(resp)));
   return Status::Ok();
 }
@@ -391,6 +436,7 @@ Status ResponderSession::HandlePushBlocks(ByteSpan data) {
     auto block = chain::Block::Deserialize(raw);
     if (!block.ok()) return block.status();
     stats_.blocks_received += 1;
+    metrics_.blocks_received.Inc();
     if (!host_->dag().Contains(block->hash())) {
       pending.push_back(*std::move(block));
     }
@@ -412,6 +458,7 @@ Status ResponderSession::HandlePushBlocks(ByteSpan data) {
       }
       if (host_->OfferBlock(pending[i]) == chain::BlockVerdict::kValid) {
         stats_.blocks_inserted += 1;
+        metrics_.blocks_inserted.Inc();
       }
       pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
       progress = true;

@@ -31,6 +31,7 @@
 #include "chain/dag.h"
 #include "chain/validation.h"
 #include "recon/messages.h"
+#include "telemetry/telemetry.h"
 #include "util/status.h"
 
 namespace vegvisir::recon {
@@ -53,6 +54,11 @@ class ReconHost {
   virtual bool HasBlock(const chain::BlockHash& h) const {
     return dag().Contains(h);
   }
+
+  // The host's telemetry sink; sessions resolve their counter handles
+  // from it once, at construction. May be null (uninstrumented host):
+  // the handles then degrade to no-ops.
+  virtual telemetry::Telemetry* telemetry() const { return nullptr; }
 };
 
 struct ReconConfig {
@@ -74,6 +80,10 @@ struct ReconConfig {
   std::uint32_t start_level = 1;
 };
 
+// Per-session counters. Sessions also mirror every field into the
+// host's metrics registry (recon.initiator.* / recon.responder.*), so
+// engine- and cluster-level totals come from the registry; this
+// struct remains the per-session result value.
 struct SessionStats {
   std::uint64_t rounds = 0;           // frontier requests sent/served
   std::uint64_t bytes_sent = 0;
@@ -83,6 +93,26 @@ struct SessionStats {
   std::uint64_t blocks_pushed = 0;    // bodies pushed to the peer
 
   void Accumulate(const SessionStats& other);
+};
+
+// The pre-resolved registry handles one session side holds. Resolving
+// happens once per session; every hot-path update is a handle
+// increment (see telemetry/metrics.h).
+struct SessionMetrics {
+  // Binds recon.<side>.* metrics, e.g. side = "initiator".
+  static SessionMetrics Resolve(telemetry::Telemetry* sink,
+                                const char* side);
+
+  telemetry::Counter sessions_started;
+  telemetry::Counter sessions_completed;
+  telemetry::Counter sessions_failed;
+  telemetry::Counter rounds;
+  telemetry::Counter bytes_sent;
+  telemetry::Counter bytes_received;
+  telemetry::Counter blocks_received;
+  telemetry::Counter blocks_inserted;
+  telemetry::Counter blocks_pushed;
+  telemetry::Histogram final_level;  // initiator only
 };
 
 enum class SessionState { kRunning, kDone, kFailed };
@@ -121,12 +151,14 @@ class InitiatorSession {
   bool CaughtUp() const;
   Status EscalateOrFail(std::vector<Bytes>* out);
   void FinishMaybePush(std::vector<Bytes>* out);
+  void MarkFailed();
   Bytes Send(Bytes message);
 
   ReconHost* host_;
   ReconConfig config_;
   SessionState state_ = SessionState::kRunning;
   SessionStats stats_;
+  SessionMetrics metrics_;
   std::uint32_t level_ = 1;
   // In bloom mode, set after the summary round; escalation then uses
   // hash-first requests (cheap) to close false-positive gaps.
@@ -163,6 +195,7 @@ class ResponderSession {
   ReconHost* host_;
   ReconConfig config_;
   SessionStats stats_;
+  SessionMetrics metrics_;
 };
 
 // Runs a complete session over a lossless in-process "wire",

@@ -2,25 +2,48 @@
 
 namespace vegvisir::sim {
 
+Network::Network(Simulator* simulator, const Topology* topology,
+                 LinkParams params, std::uint64_t seed,
+                 telemetry::Telemetry* telemetry)
+    : simulator_(simulator),
+      topology_(topology),
+      params_(params),
+      rng_(seed),
+      owned_telem_(telemetry != nullptr
+                       ? nullptr
+                       : std::make_unique<vegvisir::telemetry::Telemetry>()),
+      telem_(telemetry != nullptr ? telemetry : owned_telem_.get()),
+      c_messages_sent_(telem_->metrics.GetCounter("net.messages_sent")),
+      c_messages_delivered_(
+          telem_->metrics.GetCounter("net.messages_delivered")),
+      c_messages_dropped_(telem_->metrics.GetCounter("net.messages_dropped")),
+      c_messages_unreachable_(
+          telem_->metrics.GetCounter("net.messages_unreachable")),
+      c_bytes_sent_(telem_->metrics.GetCounter("net.bytes_sent")),
+      c_bytes_delivered_(telem_->metrics.GetCounter("net.bytes_delivered")),
+      h_message_bytes_(telem_->metrics.GetHistogram(
+          "net.message_bytes", vegvisir::telemetry::PowerOfTwoBounds(16))) {}
+
 void Network::Register(NodeId node, Handler handler, EnergyMeter* meter) {
   endpoints_[node] = Endpoint{std::move(handler), meter};
 }
 
 bool Network::Send(NodeId from, NodeId to, Bytes payload) {
   if (!topology_->Connected(from, to, simulator_->now())) {
-    stats_.messages_unreachable += 1;
+    c_messages_unreachable_.Inc();
     return false;
   }
 
-  stats_.messages_sent += 1;
-  stats_.bytes_sent += payload.size();
+  c_messages_sent_.Inc();
+  c_bytes_sent_.Inc(payload.size());
+  h_message_bytes_.Observe(static_cast<double>(payload.size()));
   if (auto it = endpoints_.find(from);
       it != endpoints_.end() && it->second.meter != nullptr) {
     it->second.meter->AddTx(payload.size());
   }
 
   if (rng_.NextBool(params_.drop_probability)) {
-    stats_.messages_dropped += 1;
+    c_messages_dropped_.Inc();
     return true;  // transmitted, but lost in the air
   }
 
@@ -33,12 +56,23 @@ bool Network::Send(NodeId from, NodeId to, Bytes payload) {
       delay, [this, from, to, payload = std::move(payload), size]() {
         const auto it = endpoints_.find(to);
         if (it == endpoints_.end()) return;
-        stats_.messages_delivered += 1;
-        stats_.bytes_delivered += size;
+        c_messages_delivered_.Inc();
+        c_bytes_delivered_.Inc(size);
         if (it->second.meter != nullptr) it->second.meter->AddRx(size);
         it->second.handler(from, payload);
       });
   return true;
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  s.messages_sent = c_messages_sent_.value();
+  s.messages_delivered = c_messages_delivered_.value();
+  s.messages_dropped = c_messages_dropped_.value();
+  s.messages_unreachable = c_messages_unreachable_.value();
+  s.bytes_sent = c_bytes_sent_.value();
+  s.bytes_delivered = c_bytes_delivered_.value();
+  return s;
 }
 
 }  // namespace vegvisir::sim

@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "sim/energy.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
+#include "telemetry/telemetry.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 
@@ -24,6 +26,8 @@ struct LinkParams {
   double drop_probability = 0.0;
 };
 
+// Wire-level counters, assembled on demand from the network's
+// telemetry registry (net.*).
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
@@ -37,12 +41,11 @@ class Network {
  public:
   using Handler = std::function<void(NodeId from, const Bytes& payload)>;
 
+  // `telemetry` is the sink the net.* series flow into (a Cluster
+  // passes a bundle it aggregates); null means the network owns a
+  // private bundle.
   Network(Simulator* simulator, const Topology* topology, LinkParams params,
-          std::uint64_t seed)
-      : simulator_(simulator),
-        topology_(topology),
-        params_(params),
-        rng_(seed) {}
+          std::uint64_t seed, telemetry::Telemetry* telemetry = nullptr);
 
   // Registers the delivery callback and energy meter for a node.
   void Register(NodeId node, Handler handler, EnergyMeter* meter = nullptr);
@@ -59,7 +62,8 @@ class Network {
     return topology_->Connected(a, b, simulator_->now());
   }
 
-  const NetworkStats& stats() const { return stats_; }
+  NetworkStats stats() const;
+  telemetry::Telemetry* telemetry() const { return telem_; }
   const Topology& topology() const { return *topology_; }
 
  private:
@@ -73,7 +77,15 @@ class Network {
   LinkParams params_;
   Rng rng_;
   std::map<NodeId, Endpoint> endpoints_;
-  NetworkStats stats_;
+  std::unique_ptr<telemetry::Telemetry> owned_telem_;
+  telemetry::Telemetry* telem_ = nullptr;
+  telemetry::Counter c_messages_sent_;
+  telemetry::Counter c_messages_delivered_;
+  telemetry::Counter c_messages_dropped_;
+  telemetry::Counter c_messages_unreachable_;
+  telemetry::Counter c_bytes_sent_;
+  telemetry::Counter c_bytes_delivered_;
+  telemetry::Histogram h_message_bytes_;
 };
 
 }  // namespace vegvisir::sim

@@ -21,6 +21,7 @@ std::size_t Superpeer::SyncToSupport(std::uint64_t timestamp_ms) {
   if (!batch.empty() && chain_->Archive(batch, timestamp_ms).ok()) {
     archived += batch.size();
   }
+  c_blocks_archived_.Inc(archived);
   return archived;
 }
 
@@ -38,10 +39,11 @@ std::size_t StorageManager::Enforce(const SupportChain* support) {
     const std::size_t size = block->EncodedSize();
     if (dag->Evict(h).ok()) {
       evicted += 1;
-      stats_.evictions += 1;
-      stats_.bytes_reclaimed += size;
+      c_evictions_.Inc();
+      c_bytes_reclaimed_.Inc(size);
     }
   }
+  g_stored_bytes_.Set(static_cast<double>(dag->StoredBytes()));
   return evicted;
 }
 
@@ -52,8 +54,17 @@ Status StorageManager::Refetch(const chain::BlockHash& h,
     return NotFoundError("block not on support chain");
   }
   VEGVISIR_RETURN_IF_ERROR(node_->mutable_dag()->Restore(*block));
-  stats_.refetches += 1;
+  c_refetches_.Inc();
+  g_stored_bytes_.Set(static_cast<double>(node_->dag().StoredBytes()));
   return Status::Ok();
+}
+
+StorageManagerStats StorageManager::stats() const {
+  StorageManagerStats s;
+  s.evictions = c_evictions_.value();
+  s.bytes_reclaimed = c_bytes_reclaimed_.value();
+  s.refetches = c_refetches_.value();
+  return s;
 }
 
 }  // namespace vegvisir::support

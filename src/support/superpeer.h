@@ -22,7 +22,11 @@ class Superpeer {
   // `chain` is the shared support blockchain (cloud-backed).
   Superpeer(node::Node* node, SupportChain* chain,
             std::size_t batch_size = 16)
-      : node_(node), chain_(chain), batch_size_(batch_size) {}
+      : node_(node),
+        chain_(chain),
+        batch_size_(batch_size),
+        c_blocks_archived_(node->telemetry()->metrics.GetCounter(
+            "support.blocks_archived")) {}
 
   // Archives every not-yet-archived block in the node's DAG, in
   // topological order, batching `batch_size` blocks per support
@@ -33,8 +37,11 @@ class Superpeer {
   node::Node* node_;
   SupportChain* chain_;
   std::size_t batch_size_;
+  telemetry::Counter c_blocks_archived_;
 };
 
+// Storage-offload counters, assembled on demand from the node's
+// telemetry registry (support.*).
 struct StorageManagerStats {
   std::uint64_t evictions = 0;
   std::uint64_t bytes_reclaimed = 0;
@@ -45,7 +52,16 @@ class StorageManager {
  public:
   // `budget_bytes` is the device's storage cap for block bodies.
   StorageManager(node::Node* node, std::size_t budget_bytes)
-      : node_(node), budget_bytes_(budget_bytes) {}
+      : node_(node),
+        budget_bytes_(budget_bytes),
+        c_evictions_(
+            node->telemetry()->metrics.GetCounter("support.evictions")),
+        c_bytes_reclaimed_(
+            node->telemetry()->metrics.GetCounter("support.bytes_reclaimed")),
+        c_refetches_(
+            node->telemetry()->metrics.GetCounter("support.refetches")),
+        g_stored_bytes_(
+            node->telemetry()->metrics.GetGauge("support.stored_bytes")) {}
 
   // Evicts oldest archived block bodies until the DAG fits the
   // budget (or nothing more can be evicted). `support` may be null
@@ -56,13 +72,16 @@ class StorageManager {
   // Brings an evicted block's body back from the support chain.
   Status Refetch(const chain::BlockHash& h, const SupportChain& support);
 
-  const StorageManagerStats& stats() const { return stats_; }
+  StorageManagerStats stats() const;
   std::size_t budget_bytes() const { return budget_bytes_; }
 
  private:
   node::Node* node_;
   std::size_t budget_bytes_;
-  StorageManagerStats stats_;
+  telemetry::Counter c_evictions_;
+  telemetry::Counter c_bytes_reclaimed_;
+  telemetry::Counter c_refetches_;
+  telemetry::Gauge g_stored_bytes_;
 };
 
 }  // namespace vegvisir::support

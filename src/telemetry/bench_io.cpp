@@ -1,0 +1,50 @@
+#include "telemetry/bench_io.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/export.h"
+
+namespace vegvisir::telemetry {
+namespace {
+
+std::string NumOrZero(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Status WriteBenchJson(const std::string& name, const Snapshot& snapshot,
+                      const std::vector<BenchValue>& extra,
+                      const std::string& dir) {
+  std::string body = "{\n\"bench\": \"" + name + "\",\n\"extra\": {";
+  bool first = true;
+  for (const BenchValue& v : extra) {
+    body += std::string(first ? "\n  \"" : ",\n  \"") + v.key +
+            "\": " + NumOrZero(v.value);
+    first = false;
+  }
+  body += first ? "},\n" : "\n},\n";
+  // Splice the metric sections out of the standard JSON export so the
+  // file and the exporter can never disagree.
+  const std::string metrics = ToJson(snapshot);
+  body += "\"metrics\": " + metrics + "\n}\n";
+
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(ErrorCode::kInternal, "cannot open " + path);
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int rc = std::fclose(f);
+  if (written != body.size() || rc != 0) {
+    return Status(ErrorCode::kInternal, "short write to " + path);
+  }
+  std::printf("telemetry: wrote %s\n", path.c_str());
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::telemetry

@@ -1,0 +1,32 @@
+// Machine-readable benchmark output.
+//
+// Every bench binary ends by dumping the registry snapshots it
+// accumulated to `BENCH_<name>.json` in the working directory, so the
+// perf trajectory of the repo is a set of diffable JSON files instead
+// of human-only tables. The required core counters (sessions,
+// bytes on the wire, blocks validated) come straight from the
+// registries — benches add scenario results (convergence times,
+// sweep outputs) as explicit extra values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "util/status.h"
+
+namespace vegvisir::telemetry {
+
+struct BenchValue {
+  std::string key;
+  double value = 0.0;
+};
+
+// Writes `BENCH_<name>.json` into `dir`. Layout:
+//   {"bench": <name>, "extra": {...}, "counters": {...},
+//    "gauges": {...}, "histograms": {...}}
+Status WriteBenchJson(const std::string& name, const Snapshot& snapshot,
+                      const std::vector<BenchValue>& extra = {},
+                      const std::string& dir = ".");
+
+}  // namespace vegvisir::telemetry

@@ -1,0 +1,155 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace vegvisir::telemetry {
+namespace {
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof buf - 1));
+}
+
+// Shortest float form that round-trips typical metric values; JSON
+// has no inf/nan, map those to 0.
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "vegvisir_";
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    Append(&out, "%s %" PRIu64 "\n", prom.c_str(), value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + Num(value) + "\n";
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.bounds.size(); ++i) {
+      cumulative += data.counts[i];
+      Append(&out, "%s_bucket{le=\"%s\"} %" PRIu64 "\n", prom.c_str(),
+             Num(data.bounds[i]).c_str(), cumulative);
+    }
+    Append(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", prom.c_str(),
+           data.count);
+    out += prom + "_sum " + Num(data.sum) + "\n";
+    Append(&out, "%s_count %" PRIu64 "\n", prom.c_str(), data.count);
+  }
+  return out;
+}
+
+std::string ToJson(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    Append(&out, "%s\n    %s: %" PRIu64, first ? "" : ",",
+           Quote(name).c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += std::string(first ? "\n    " : ",\n    ") + Quote(name) + ": " +
+           Num(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    out += std::string(first ? "\n    " : ",\n    ") + Quote(name) +
+           ": {\"bounds\": [";
+    for (std::size_t i = 0; i < data.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Num(data.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < data.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      Append(&out, "%" PRIu64, data.counts[i]);
+    }
+    Append(&out, "], \"count\": %" PRIu64 ", \"sum\": %s}", data.count,
+           Num(data.sum).c_str());
+    first = false;
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  return out;
+}
+
+std::string TraceToJson(const Tracer& tracer) {
+  std::string out = "{\n  \"recorded\": " + Num(static_cast<double>(tracer.recorded())) +
+                    ",\n  \"dropped\": " + Num(static_cast<double>(tracer.dropped())) +
+                    ",\n  \"events\": [";
+  bool first = true;
+  for (const TraceEvent& e : tracer.Events()) {
+    Append(&out,
+           "%s\n    {\"name\": %s, \"kind\": \"%s\", \"start_ms\": %" PRIu64
+           ", \"end_ms\": %" PRIu64 ", \"a\": %" PRIu64 ", \"b\": %" PRIu64
+           "}",
+           first ? "" : ",", Quote(e.name).c_str(),
+           e.kind == TraceEvent::Kind::kSpan ? "span" : "instant", e.start_ms,
+           e.end_ms, e.a, e.b);
+    first = false;
+  }
+  out += first ? "]\n}" : "\n  ]\n}";
+  return out;
+}
+
+}  // namespace vegvisir::telemetry

@@ -1,0 +1,33 @@
+// Exporters: Prometheus text format and JSON.
+//
+// Both render a `Snapshot` (not a live registry), so a caller can
+// export exactly the window it measured: take a snapshot before, one
+// after, export `after.DiffSince(before)`. Metric names use dots as
+// namespace separators ("recon.initiator.bytes_sent"); the
+// Prometheus exporter rewrites them to the `vegvisir_`-prefixed
+// underscore form the text format requires.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace vegvisir::telemetry {
+
+// "recon.initiator.bytes_sent" -> "vegvisir_recon_initiator_bytes_sent".
+std::string PrometheusName(const std::string& name);
+
+// Prometheus text exposition format: # TYPE lines, cumulative
+// histogram buckets with le labels, _sum and _count series.
+std::string ToPrometheusText(const Snapshot& snapshot);
+
+// {"counters": {...}, "gauges": {...}, "histograms": {name:
+// {"bounds": [...], "counts": [...], "count": n, "sum": x}}}
+std::string ToJson(const Snapshot& snapshot);
+
+// The tracer's retained events as a JSON array (oldest first), plus
+// recorded/dropped totals so truncation is visible in the output.
+std::string TraceToJson(const Tracer& tracer);
+
+}  // namespace vegvisir::telemetry

@@ -1,0 +1,149 @@
+// Metrics registry: named counters, gauges and fixed-bucket
+// histograms shared by every layer of the system.
+//
+// The paper's evaluation (§V) is measurement-driven — reconciliation
+// rounds, bytes on the wire, convergence after partition heal, energy
+// per block — and related IoT-ledger work (DLedger, Cao et al. 2019)
+// treats resource accounting as a first-class design input on
+// constrained devices. This registry is the single sink those
+// measurements flow through.
+//
+// Hot-path discipline: a metric is resolved to a handle ONCE
+// (`GetCounter` et al. allocate on first use); the handle is a bare
+// pointer into registry-owned storage, so an increment is one load,
+// one add, one store — no lookup, no allocation, no lock (the whole
+// system is single-threaded per simulation). Default-constructed
+// handles are valid no-ops, so uninstrumented components cost a
+// predictable branch.
+//
+// Registries are per node; `Snapshot::Merge` aggregates across a
+// Cluster, `Snapshot::DiffSince` isolates a measurement window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vegvisir::telemetry {
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  Counter() = default;
+  void Inc(std::uint64_t n = 1) {
+    if (cell_ != nullptr) *cell_ += n;
+  }
+  std::uint64_t value() const { return cell_ == nullptr ? 0 : *cell_; }
+  bool bound() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  std::uint64_t* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(double v) {
+    if (cell_ != nullptr) *cell_ = v;
+  }
+  void Add(double d) {
+    if (cell_ != nullptr) *cell_ += d;
+  }
+  double value() const { return cell_ == nullptr ? 0.0 : *cell_; }
+  bool bound() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* cell) : cell_(cell) {}
+  double* cell_ = nullptr;
+};
+
+// Bucket counts for a histogram: `counts[i]` is the number of
+// observations <= bounds[i]; the final slot counts the +inf overflow.
+struct HistogramData {
+  std::vector<double> bounds;        // ascending upper bounds
+  std::vector<std::uint64_t> counts; // bounds.size() + 1 slots
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void Observe(double v);
+  const HistogramData* data() const { return cell_; }
+  bool bound() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(HistogramData* cell) : cell_(cell) {}
+  HistogramData* cell_ = nullptr;
+};
+
+// A point-in-time copy of every metric in a registry. Plain data:
+// copyable, mergeable, diffable — the unit the exporters and the
+// bench output consume.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  // Counter and histogram deltas since `earlier` (names absent there
+  // count from zero); gauges keep their current value. The
+  // before/after helper for scoped measurements.
+  Snapshot DiffSince(const Snapshot& earlier) const;
+
+  // Sums `other` into this snapshot: counters and histogram buckets
+  // add; gauges add too (the useful reading for sizes and totals
+  // when aggregating a cluster). Histograms with mismatched bucket
+  // bounds keep the left-hand side's shape and only add count/sum.
+  void Merge(const Snapshot& other);
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+// Owns metric storage. Cells live in deques, so handles stay valid
+// for the registry's lifetime (and across moves of whoever owns the
+// registry, as long as the registry itself is heap-allocated or
+// otherwise address-stable).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Resolve-once lookups: the first call registers the metric, later
+  // calls return a handle to the same cell.
+  Counter GetCounter(const std::string& name);
+  Gauge GetGauge(const std::string& name);
+  // `bounds` are ascending upper bucket bounds; they are fixed at
+  // first registration (later calls ignore the argument).
+  Histogram GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  // Point reads for shims and tests (0 / 0.0 when unregistered).
+  std::uint64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::deque<std::uint64_t> counter_cells_;
+  std::map<std::string, std::uint64_t*> counters_;
+  std::deque<double> gauge_cells_;
+  std::map<std::string, double*> gauges_;
+  std::deque<HistogramData> histogram_cells_;
+  std::map<std::string, HistogramData*> histograms_;
+};
+
+// Bucket helper: {1, 2, 4, ..., 2^(n-1)} — the natural scale for
+// escalation levels, round counts and message sizes.
+std::vector<double> PowerOfTwoBounds(int n);
+
+}  // namespace vegvisir::telemetry

@@ -1,0 +1,21 @@
+// The per-node telemetry bundle: one metrics registry plus one
+// sim-time tracer, wired through every layer a node owns (gossip
+// engine, reconciliation sessions, validation, CSM). Components that
+// are handed no bundle fall back to a private one, so their stats
+// accessors keep working standalone; a Cluster provides one bundle
+// per node and aggregates them (see node/cluster.h).
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace vegvisir::telemetry {
+
+struct Telemetry {
+  Telemetry() : trace(4096) {}
+
+  MetricsRegistry metrics;
+  Tracer trace;
+};
+
+}  // namespace vegvisir::telemetry

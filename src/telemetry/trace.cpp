@@ -1,0 +1,68 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+namespace vegvisir::telemetry {
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void Tracer::Push(const TraceEvent& event) {
+  recorded_ += 1;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    size_ = ring_.size();
+    return;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+}
+
+void Tracer::RecordSpan(const char* name, TimeMs start_ms, TimeMs end_ms,
+                        std::uint64_t a, std::uint64_t b) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSpan;
+  e.name = name;
+  e.start_ms = start_ms;
+  e.end_ms = std::max(start_ms, end_ms);
+  e.a = a;
+  e.b = b;
+  Push(e);
+}
+
+void Tracer::RecordInstant(const char* name, TimeMs at_ms, std::uint64_t a,
+                           std::uint64_t b) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kInstant;
+  e.name = name;
+  e.start_ms = at_ms;
+  e.end_ms = at_ms;
+  e.a = a;
+  e.b = b;
+  Push(e);
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  // Full ring: the oldest event sits at the write cursor.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  ring_.clear();
+  next_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace vegvisir::telemetry

@@ -1,0 +1,75 @@
+// Span tracing on the simulator's virtual clock.
+//
+// Every timestamp a tracer stores is a `sim::TimeMs` handed in by the
+// caller (the simulator's now(), or a node's local clock) — the
+// tracer itself never reads a wall clock, so traces are as
+// deterministic as the simulation that produced them.
+//
+// Two event shapes:
+//   - spans:    an interval [start_ms, end_ms] (a reconciliation
+//               session escalating through frontier levels, a
+//               full catch-up after partition heal);
+//   - instants: a point event (a gossip tick, one block validation,
+//               one CSM apply — work that is atomic in sim time).
+//
+// Events carry two free uint64 details (`a`, `b`) whose meaning is
+// per-name (escalation level, byte count, transaction count, ...).
+// Storage is a bounded ring: recording never allocates after
+// construction and never grows; once full, the oldest events are
+// overwritten and counted in dropped().
+//
+// `name` must point at storage outliving the tracer — in practice a
+// string literal ("recon.session"); the ring stores the pointer only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vegvisir::telemetry {
+
+using TimeMs = std::uint64_t;
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kInstant };
+  Kind kind = Kind::kInstant;
+  const char* name = "";
+  TimeMs start_ms = 0;
+  TimeMs end_ms = 0;  // == start_ms for instants
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  TimeMs duration_ms() const { return end_ms - start_ms; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1024);
+
+  void RecordSpan(const char* name, TimeMs start_ms, TimeMs end_ms,
+                  std::uint64_t a = 0, std::uint64_t b = 0);
+  void RecordInstant(const char* name, TimeMs at_ms, std::uint64_t a = 0,
+                     std::uint64_t b = 0);
+
+  // The retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  // Total events ever recorded / overwritten by the ring.
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return recorded_ - size_; }
+
+  void Clear();
+
+ private:
+  void Push(const TraceEvent& event);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // write cursor once the ring is full
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace vegvisir::telemetry

@@ -28,3 +28,5 @@
 #include "node/node.h"         // the Node facade
 #include "recon/session.h"     // reconciliation protocol
 #include "support/superpeer.h" // support blockchain, storage manager
+#include "telemetry/export.h"  // Prometheus / JSON exporters
+#include "telemetry/telemetry.h" // metrics registry + sim-time tracer

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include "crypto/drbg.h"
+#include "node/cluster.h"
 #include "node/node.h"
 #include "recon/messages.h"
 #include "recon/session.h"
+#include "sim/topology.h"
 #include "util/rng.h"
 
 namespace vegvisir::recon {
@@ -507,6 +509,67 @@ TEST(SessionTest, ResponderServesFrontierLevels) {
   ASSERT_TRUE(DecodeMessage(out[0], &resp).ok());
   EXPECT_EQ(resp.hashes.size(), 2u);  // level-2 of a linear chain
   EXPECT_EQ(resp.blocks.size(), 2u);
+}
+
+// ------------------------------------------------ network accounting
+
+// Every byte the simulated radio carries must be attributable to a
+// reconciliation session plus the 9-byte gossip envelope (u8
+// direction + u64 session id). Because sessions and the network count
+// into the same telemetry registries, this is an exact identity, not
+// an approximation — any unaccounted traffic or double counting
+// breaks the equality.
+TEST(SessionTest, SessionBytesReconcileWithNetworkBytes) {
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  node::ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.seed = 7;
+  cfg.link.drop_probability = 0.0;  // lossless: delivered == sent
+  // Node 0 is the only initiator, so it must push its enrollment
+  // blocks to node 1 (pull alone would leave node 1 dark).
+  cfg.node_template.recon.push_back = true;
+  node::Cluster cluster(cfg, &topo);
+  cluster.gossip(1).Stop();  // node 1 only responds
+
+  // Let node 0's first sessions enroll node 1, then put node 1 eight
+  // blocks ahead so the next session escalates through multiple
+  // frontier levels before it finds the common ancestor.
+  cluster.RunFor(10'000);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.node(1).AddWitnessBlock().ok());
+  }
+  cluster.RunFor(30'000);
+  ASSERT_TRUE(cluster.Converged());
+
+  const telemetry::MetricsRegistry& m0 = cluster.telemetry(0).metrics;
+  const telemetry::MetricsRegistry& m1 = cluster.telemetry(1).metrics;
+
+  // The deep gap forced at least one multi-round (escalating) session.
+  EXPECT_GT(m0.CounterValue("recon.initiator.rounds"),
+            m0.CounterValue("recon.initiator.sessions_started"));
+  EXPECT_GT(m0.CounterValue("recon.initiator.sessions_completed"), 0u);
+  // Node 1 never initiated; it only served.
+  EXPECT_EQ(m1.CounterValue("recon.initiator.sessions_started"), 0u);
+  EXPECT_GT(m1.CounterValue("recon.responder.rounds"), 0u);
+
+  const std::uint64_t session_sent =
+      m0.CounterValue("recon.initiator.bytes_sent") +
+      m1.CounterValue("recon.initiator.bytes_sent") +
+      m0.CounterValue("recon.responder.bytes_sent") +
+      m1.CounterValue("recon.responder.bytes_sent");
+  const std::uint64_t session_received =
+      m0.CounterValue("recon.initiator.bytes_received") +
+      m1.CounterValue("recon.initiator.bytes_received") +
+      m0.CounterValue("recon.responder.bytes_received") +
+      m1.CounterValue("recon.responder.bytes_received");
+
+  const sim::NetworkStats net = cluster.network().stats();
+  EXPECT_EQ(net.messages_dropped, 0u);
+  EXPECT_EQ(net.messages_unreachable, 0u);
+  EXPECT_EQ(net.bytes_sent, session_sent + 9 * net.messages_sent);
+  EXPECT_EQ(net.bytes_delivered,
+            session_received + 9 * net.messages_delivered);
 }
 
 TEST(SessionTest, LevelCapFailsGracefully) {
