@@ -22,8 +22,21 @@ ValidationResult ValidateBlock(const Block& block, const Dag& dag,
     return Reject(FailedPreconditionError("parentless non-genesis block"));
   }
 
-  // Check 2: parents present. Missing parents are a reconciliation
-  // gap, not an attack.
+  // Check 4 runs first whenever it can: if the creator is already
+  // known, authenticate before any retryable verdict. A block that
+  // fails its signature is garbage (wire corruption or forgery) no
+  // matter which parents it names — returning Retry for its missing
+  // (possibly mangled, never-to-arrive) parents would park it in
+  // quarantine indefinitely.
+  const Certificate* cert =
+      membership.FindCertificate(block.header().user_id);
+  if (cert != nullptr && !block.VerifySignature(cert->public_key)) {
+    return Reject(UnauthenticatedError("bad signature on block"));
+  }
+
+  // Check 2: parents present. Missing parents on an authenticated (or
+  // not-yet-authenticatable) block are a reconciliation gap, not an
+  // attack.
   for (const BlockHash& p : block.header().parents) {
     if (!dag.Contains(p)) {
       return Retry(NotFoundError("missing parent " + HashShort(p)));
@@ -32,16 +45,9 @@ ValidationResult ValidateBlock(const Block& block, const Dag& dag,
 
   // Check 1: creator is a member. An unknown creator may simply have
   // enrolled in a partition we have not merged yet.
-  const Certificate* cert =
-      membership.FindCertificate(block.header().user_id);
   if (cert == nullptr) {
     return Retry(
         UnauthenticatedError("unknown creator " + block.header().user_id));
-  }
-
-  // Check 4: signature valid and matching the creator's certificate.
-  if (!block.VerifySignature(cert->public_key)) {
-    return Reject(UnauthenticatedError("bad signature on block"));
   }
 
   // Check 3: timestamp strictly after every parent...

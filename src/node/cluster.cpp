@@ -1,6 +1,7 @@
 #include "node/cluster.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "crypto/drbg.h"
 
@@ -15,37 +16,77 @@ crypto::KeyPair KeysFor(std::uint64_t cluster_seed, int index) {
 
 }  // namespace
 
+bool Cluster::IsAdversary(int i) const {
+  return std::find(config_.adversaries.begin(), config_.adversaries.end(),
+                   i) != config_.adversaries.end();
+}
+
+NodeConfig Cluster::ConfigFor(int i) const {
+  NodeConfig cfg = config_.node_template;
+  cfg.user_id = (i == 0) ? "owner" : "user-" + std::to_string(i);
+  cfg.drop_foreign_blocks = IsAdversary(i);
+  cfg.telemetry = telemetry_[static_cast<std::size_t>(i)].get();
+  return cfg;
+}
+
+crypto::KeyPair Cluster::NodeKeys(int i) const {
+  return (i == 0) ? owner_keys_ : KeysFor(config_.seed, i);
+}
+
+void Cluster::WireNode(Node* node, int i) {
+  // All clocks follow simulated time, offset past the genesis
+  // timestamp so submissions are always valid — plus whatever skew
+  // the fault plan assigns this node (zero once faults deactivate).
+  node->SetClock([this, i] {
+    std::int64_t t = static_cast<std::int64_t>(simulator_.now()) + 1'000;
+    if (injector_ != nullptr) {
+      t += injector_->ClockSkewFor(i, simulator_.now());
+    }
+    return static_cast<std::uint64_t>(std::max<std::int64_t>(t, 0));
+  });
+  node->AttachEnergyMeter(meters_[static_cast<std::size_t>(i)].get());
+}
+
+std::unique_ptr<GossipEngine> Cluster::BuildEngine(int i) {
+  GossipConfig gcfg = config_.gossip;
+  if (IsAdversary(i)) gcfg.enabled = false;  // refuses to propagate
+  // The engine seed mixes in the restart generation: a node's second
+  // incarnation must not replay its first one's random choices (and
+  // session ids must not collide with pre-crash traffic).
+  const std::uint64_t gen =
+      generation_[static_cast<std::size_t>(i)] * 104'729ULL;
+  return std::make_unique<GossipEngine>(
+      nodes_[static_cast<std::size_t>(i)].get(), &simulator_, network_.get(),
+      i, gcfg, config_.seed * 7'919ULL + static_cast<std::uint64_t>(i) + gen);
+}
+
 Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
     : config_(std::move(config)), owner_keys_(KeysFor(config_.seed, 0)) {
   net_telem_ = std::make_unique<telemetry::Telemetry>();
+  c_crashes_ = net_telem_->metrics.GetCounter("fault.crashes");
+  c_restarts_ = net_telem_->metrics.GetCounter("fault.restarts");
+  if (!config_.faults.Empty()) {
+    injector_ = std::make_unique<sim::FaultInjector>(
+        config_.faults, config_.seed ^ 0xFA171ULL, net_telem_.get());
+  }
   network_ = std::make_unique<sim::Network>(&simulator_, topology,
                                             config_.link, config_.seed ^ 1,
                                             net_telem_.get());
+  if (injector_ != nullptr) network_->SetFaultInjector(injector_.get());
 
-  const chain::Block genesis = chain::GenesisBuilder(config_.chain_name)
-                                   .WithTimestamp(1)
-                                   .Build("owner", owner_keys_);
+  genesis_ = chain::GenesisBuilder(config_.chain_name)
+                 .WithTimestamp(1)
+                 .Build("owner", owner_keys_);
 
-  const auto is_adversary = [&](int i) {
-    return std::find(config_.adversaries.begin(), config_.adversaries.end(),
-                     i) != config_.adversaries.end();
-  };
+  checkpoints_.resize(static_cast<std::size_t>(config_.node_count));
+  generation_.resize(static_cast<std::size_t>(config_.node_count), 0);
 
   for (int i = 0; i < config_.node_count; ++i) {
-    NodeConfig cfg = config_.node_template;
-    cfg.user_id = (i == 0) ? "owner" : "user-" + std::to_string(i);
-    cfg.drop_foreign_blocks = is_adversary(i);
     telemetry_.push_back(std::make_unique<telemetry::Telemetry>());
-    cfg.telemetry = telemetry_.back().get();
-    auto node = std::make_unique<Node>(cfg, genesis,
-                                       i == 0 ? owner_keys_
-                                              : KeysFor(config_.seed, i));
-    // All clocks follow simulated time, offset past the genesis
-    // timestamp so submissions are always valid.
-    node->SetClock([this] { return simulator_.now() + 1'000; });
+    auto node = std::make_unique<Node>(ConfigFor(i), genesis_, NodeKeys(i));
     meters_.push_back(std::make_unique<sim::EnergyMeter>(config_.energy));
-    node->AttachEnergyMeter(meters_.back().get());
-    if (!is_adversary(i)) honest_.push_back(i);
+    WireNode(node.get(), i);
+    if (!IsAdversary(i)) honest_.push_back(i);
     nodes_.push_back(std::move(node));
   }
 
@@ -60,15 +101,60 @@ Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
   }
 
   for (int i = 0; i < config_.node_count; ++i) {
-    GossipConfig gcfg = config_.gossip;
-    if (is_adversary(i)) gcfg.enabled = false;  // refuses to propagate
-    auto engine = std::make_unique<GossipEngine>(
-        nodes_[static_cast<std::size_t>(i)].get(), &simulator_,
-        network_.get(), i, gcfg,
-        config_.seed * 7'919ULL + static_cast<std::uint64_t>(i));
+    auto engine = BuildEngine(i);
     engine->Start(meters_[static_cast<std::size_t>(i)].get());
     gossips_.push_back(std::move(engine));
   }
+
+  // Crash/restart events from the fault plan become simulator events.
+  for (const sim::FaultPlan::CrashEvent& ev : config_.faults.crashes) {
+    const int target = static_cast<int>(ev.node);
+    if (target < 0 || target >= config_.node_count) continue;
+    simulator_.ScheduleAt(ev.crash_at_ms, [this, target] {
+      CrashNode(target);
+    });
+    if (ev.restart_at_ms > ev.crash_at_ms) {
+      simulator_.ScheduleAt(ev.restart_at_ms, [this, target] {
+        RestartNode(target);
+      });
+    }
+  }
+}
+
+void Cluster::CrashNode(int i) {
+  const auto idx = static_cast<std::size_t>(i);
+  if (nodes_[idx] == nullptr) return;  // already down
+  // What had reached flash survives the crash; everything else —
+  // sessions, quarantine, in-flight messages — is lost.
+  checkpoints_[idx] = CaptureCheckpoint(*nodes_[idx]);
+  gossips_[idx]->Shutdown();
+  retired_gossips_.push_back(std::move(gossips_[idx]));
+  network_->Deregister(i);
+  nodes_[idx].reset();
+  c_crashes_.Inc();
+}
+
+bool Cluster::RestartNode(int i) {
+  const auto idx = static_cast<std::size_t>(i);
+  if (nodes_[idx] != nullptr) return true;
+  bool used_snapshot = false;
+  auto restored = RestoreFromImage(ConfigFor(i), NodeKeys(i),
+                                   checkpoints_[idx], &used_snapshot);
+  std::unique_ptr<Node> node;
+  if (restored.ok()) {
+    node = std::move(*restored);
+  } else {
+    // Unreadable flash image: rejoin from genesis and let gossip
+    // re-fetch history (the cold-start path).
+    node = std::make_unique<Node>(ConfigFor(i), genesis_, NodeKeys(i));
+  }
+  WireNode(node.get(), i);
+  nodes_[idx] = std::move(node);
+  generation_[idx] += 1;
+  gossips_[idx] = BuildEngine(i);
+  gossips_[idx]->Start(meters_[idx].get());
+  c_restarts_.Inc();
+  return used_snapshot;
 }
 
 telemetry::Snapshot Cluster::AggregateSnapshot() const {
@@ -86,19 +172,19 @@ void Cluster::RunFor(sim::TimeMs duration) {
 int Cluster::CountHaving(const chain::BlockHash& h) const {
   int count = 0;
   for (const auto& node : nodes_) {
-    if (node->dag().Contains(h)) ++count;
+    if (node != nullptr && node->dag().Contains(h)) ++count;
   }
   return count;
 }
 
 bool Cluster::Converged() const {
   if (honest_.empty()) return true;
-  const Bytes reference =
-      nodes_[static_cast<std::size_t>(honest_[0])]->Fingerprint();
+  const Node* reference_node = nodes_[static_cast<std::size_t>(honest_[0])].get();
+  if (reference_node == nullptr) return false;
+  const Bytes reference = reference_node->Fingerprint();
   for (int i : honest_) {
-    if (nodes_[static_cast<std::size_t>(i)]->Fingerprint() != reference) {
-      return false;
-    }
+    const Node* n = nodes_[static_cast<std::size_t>(i)].get();
+    if (n == nullptr || n->Fingerprint() != reference) return false;
   }
   return true;
 }

@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "node/checkpoint.h"
 #include "node/gossip.h"
 #include "node/node.h"
+#include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
@@ -31,6 +33,11 @@ struct ClusterConfig {
   // Indexes of adversarial nodes: they drop foreign blocks and do not
   // initiate gossip (paper §IV-B's malicious peers).
   std::vector<int> adversaries;
+  // Fault-injection plan (sim/faults.h). Non-empty plans interpose a
+  // FaultInjector on the network, skew node clocks, and schedule any
+  // crash/restart events at construction time. Its fault.* counters
+  // land in the network's telemetry bundle.
+  sim::FaultPlan faults;
 };
 
 class Cluster {
@@ -40,6 +47,7 @@ class Cluster {
 
   sim::Simulator& simulator() { return simulator_; }
   sim::Network& network() { return *network_; }
+  // Undefined behaviour if node i is currently crashed (check alive()).
   Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
   GossipEngine& gossip(int i) {
     return *gossips_[static_cast<std::size_t>(i)];
@@ -55,10 +63,35 @@ class Cluster {
   // Advances simulated time by `duration` (processing all events).
   void RunFor(sim::TimeMs duration);
 
-  // How many nodes hold the given block.
+  // ---- crash / restart ---------------------------------------------
+  // Powers node i off mid-protocol: captures an in-memory flash
+  // checkpoint, tears down its gossip engine (in-flight sessions are
+  // aborted, responder state orphaned), deregisters it from the
+  // network (in-flight messages toward it become dead letters) and
+  // destroys the Node. No-op if already crashed.
+  void CrashNode(int i);
+  // Rebuilds node i from its crash-time checkpoint and rejoins it to
+  // the network with a fresh gossip engine (same telemetry bundle, so
+  // its counters continue across the incarnation). Falls back to a
+  // fresh-from-genesis node if the checkpoint does not restore.
+  // Returns true if the CSM snapshot was adopted (false: replayed or
+  // fresh). No-op (returns true) if the node is up.
+  bool RestartNode(int i);
+  bool alive(int i) const {
+    return nodes_[static_cast<std::size_t>(i)] != nullptr;
+  }
+
+  // The fault injector wired into the network (null when
+  // config.faults is empty). Deactivating it ends message mangling
+  // and clock skew; scheduled crash events still fire.
+  sim::FaultInjector* fault_injector() { return injector_.get(); }
+
+  // How many nodes hold the given block (crashed nodes count as not
+  // holding it).
   int CountHaving(const chain::BlockHash& h) const;
 
-  // True iff every non-adversarial node has an identical fingerprint.
+  // True iff every non-adversarial node is up and all their
+  // fingerprints are identical.
   bool Converged() const;
 
   // The honest nodes' indexes.
@@ -77,17 +110,33 @@ class Cluster {
   telemetry::Snapshot AggregateSnapshot() const;
 
  private:
+  bool IsAdversary(int i) const;
+  NodeConfig ConfigFor(int i) const;
+  crypto::KeyPair NodeKeys(int i) const;
+  void WireNode(Node* node, int i);  // clock (with fault skew) + meter
+  std::unique_ptr<GossipEngine> BuildEngine(int i);
+
   ClusterConfig config_;
   sim::Simulator simulator_;
   // Bundles are created before the components that write into them.
   std::vector<std::unique_ptr<telemetry::Telemetry>> telemetry_;
   std::unique_ptr<telemetry::Telemetry> net_telem_;
+  std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<sim::Network> network_;
   crypto::KeyPair owner_keys_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  chain::Block genesis_;  // kept for fresh-rejoin fallback
+  std::vector<std::unique_ptr<Node>> nodes_;  // null while crashed
   std::vector<std::unique_ptr<GossipEngine>> gossips_;
+  // Shut-down engines from crashed incarnations. Pending simulator
+  // events still hold pointers into them, so they are retired here
+  // instead of destroyed.
+  std::vector<std::unique_ptr<GossipEngine>> retired_gossips_;
   std::vector<std::unique_ptr<sim::EnergyMeter>> meters_;
+  std::vector<CheckpointImage> checkpoints_;   // crash-time flash images
+  std::vector<std::uint32_t> generation_;      // restarts per node
   std::vector<int> honest_;
+  telemetry::Counter c_crashes_;
+  telemetry::Counter c_restarts_;
 };
 
 }  // namespace vegvisir::node

@@ -19,6 +19,8 @@ Node::Node(NodeConfig config, chain::Block genesis, crypto::KeyPair keys)
       c_blocks_rejected_(telem_->metrics.GetCounter("node.blocks_rejected")),
       c_blocks_quarantined_(
           telem_->metrics.GetCounter("node.blocks_quarantined")),
+      c_quarantine_expired_(
+          telem_->metrics.GetCounter("node.quarantine_expired")),
       c_foreign_dropped_(telem_->metrics.GetCounter("node.foreign_dropped")),
       g_quarantine_size_(telem_->metrics.GetGauge("node.quarantine_size")),
       dag_(genesis),
@@ -183,7 +185,8 @@ chain::BlockVerdict Node::AdmitBlock(const chain::Block& block) {
       if (quarantine_.size() >= config_.quarantine_cap) {
         quarantine_.erase(quarantine_.begin());
       }
-      if (quarantine_.emplace(block.hash(), block).second) {
+      if (quarantine_.emplace(block.hash(), QuarantineEntry{block, NowMs()})
+              .second) {
         c_blocks_quarantined_.Inc();
       }
       g_quarantine_size_.Set(static_cast<double>(quarantine_.size()));
@@ -217,11 +220,22 @@ chain::BlockVerdict Node::OfferBlock(const chain::Block& block) {
 }
 
 void Node::RetryQuarantine() {
+  const std::uint64_t now = NowMs();
+  // A block still undecidable past the TTL gives up its slot; whoever
+  // still has it can re-offer it later. Checked only AFTER
+  // re-validation fails to decide, so a block whose moment has come
+  // (parents arrived, clock caught up) is admitted, never expired.
+  // (The `now >` guard covers a clock that stepped backwards when
+  // fault-injected skew ended.)
+  const auto expired = [&](const QuarantineEntry& e) {
+    return config_.quarantine_ttl_ms != 0 && now > e.parked_at_ms &&
+           now - e.parked_at_ms > config_.quarantine_ttl_ms;
+  };
   bool progress = true;
   while (progress && !quarantine_.empty()) {
     progress = false;
     for (auto it = quarantine_.begin(); it != quarantine_.end();) {
-      const chain::Block& block = it->second;
+      const chain::Block& block = it->second.block;
       bool parents_known = true;
       for (const chain::BlockHash& p : block.header().parents) {
         if (!dag_.Contains(p)) {
@@ -230,7 +244,12 @@ void Node::RetryQuarantine() {
         }
       }
       if (!parents_known) {
-        ++it;
+        if (expired(it->second)) {
+          c_quarantine_expired_.Inc();
+          it = quarantine_.erase(it);
+        } else {
+          ++it;
+        }
         continue;
       }
       const chain::ValidationResult result = chain::ValidateBlock(
@@ -246,6 +265,9 @@ void Node::RetryQuarantine() {
         c_blocks_rejected_.Inc();
         it = quarantine_.erase(it);
         progress = true;
+      } else if (expired(it->second)) {
+        c_quarantine_expired_.Inc();
+        it = quarantine_.erase(it);
       } else {
         ++it;  // still undecidable; keep waiting
       }

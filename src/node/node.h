@@ -47,6 +47,13 @@ struct NodeConfig {
   // Quarantined-block cap; beyond it the oldest entries are dropped
   // (they will be re-fetched by a later reconciliation).
   std::size_t quarantine_cap = 4096;
+  // Quarantine entries still undecidable after this long are dropped
+  // and counted under node.quarantine_expired (0 = keep forever). A
+  // wire-corrupted block naming a parent or creator that will never
+  // exist would otherwise occupy quarantine until cap eviction; a
+  // legitimately early block lost this way is simply re-fetched by a
+  // later reconciliation session.
+  std::uint64_t quarantine_ttl_ms = 120'000;
   // Adversarial behaviour (paper §IV-B): discard every block created
   // by others — the node neither stores nor propagates foreign
   // blocks, though it still creates and serves its own.
@@ -90,6 +97,10 @@ class Node final : public recon::ReconHost {
 
   const std::string& user_id() const { return config_.user_id; }
   const recon::ReconConfig& recon_config() const { return config_.recon; }
+  // The full configuration this node runs with — what a host must
+  // supply again to Restore/LoadCheckpoint after a crash (the config
+  // is deliberately not part of the checkpoint image).
+  const NodeConfig& config() const { return config_; }
 
   // ---- time --------------------------------------------------------
   // The node's local clock, used for block timestamps and the
@@ -176,13 +187,18 @@ class Node final : public recon::ReconHost {
   telemetry::Counter c_blocks_accepted_;
   telemetry::Counter c_blocks_rejected_;
   telemetry::Counter c_blocks_quarantined_;
+  telemetry::Counter c_quarantine_expired_;
   telemetry::Counter c_foreign_dropped_;
   telemetry::Gauge g_quarantine_size_;
   chain::Dag dag_;
   csm::StateMachine csm_;
   std::function<std::uint64_t()> clock_;
   std::uint64_t manual_time_ms_ = 0;
-  std::map<chain::BlockHash, chain::Block> quarantine_;
+  struct QuarantineEntry {
+    chain::Block block;
+    std::uint64_t parked_at_ms = 0;
+  };
+  std::map<chain::BlockHash, QuarantineEntry> quarantine_;
   sim::EnergyMeter* meter_ = nullptr;
 };
 

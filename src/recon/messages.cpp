@@ -11,7 +11,10 @@ void WriteHashes(serial::Writer* w, const std::vector<chain::BlockHash>& hs) {
 Status ReadHashes(serial::Reader* r, std::vector<chain::BlockHash>* out) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count * sizeof(chain::BlockHash) > r->remaining()) {
+  // Divide instead of multiplying: a hostile/corrupted count near
+  // 2^64 would wrap `count * sizeof(hash)` past the check and drive
+  // the reserve() below into an allocation bomb.
+  if (count > r->remaining() / sizeof(chain::BlockHash)) {
     return InvalidArgumentError("hash count exceeds input");
   }
   out->clear();

@@ -397,7 +397,11 @@ Status ResponderSession::HandleFrontierRequest(ByteSpan data,
     return Status::Ok();
   }
 
-  resp.hashes = host_->dag().FrontierLevel(static_cast<int>(req.level));
+  // A corrupted (or hostile) level must not wrap negative through the
+  // int cast below, nor walk arbitrarily deep per round: clamp to the
+  // same escalation ceiling the initiator honours.
+  const std::uint32_t level = std::min(req.level, config_.max_level);
+  resp.hashes = host_->dag().FrontierLevel(static_cast<int>(level));
   if (!req.hashes_only) {
     for (const chain::BlockHash& h : resp.hashes) {
       const chain::Block* block = host_->dag().Find(h);

@@ -19,6 +19,8 @@ Network::Network(Simulator* simulator, const Topology* topology,
       c_messages_dropped_(telem_->metrics.GetCounter("net.messages_dropped")),
       c_messages_unreachable_(
           telem_->metrics.GetCounter("net.messages_unreachable")),
+      c_messages_dead_letter_(
+          telem_->metrics.GetCounter("net.messages_dead_letter")),
       c_bytes_sent_(telem_->metrics.GetCounter("net.bytes_sent")),
       c_bytes_delivered_(telem_->metrics.GetCounter("net.bytes_delivered")),
       h_message_bytes_(telem_->metrics.GetHistogram(
@@ -28,8 +30,12 @@ void Network::Register(NodeId node, Handler handler, EnergyMeter* meter) {
   endpoints_[node] = Endpoint{std::move(handler), meter};
 }
 
+void Network::Deregister(NodeId node) { endpoints_.erase(node); }
+
 bool Network::Send(NodeId from, NodeId to, Bytes payload) {
-  if (!topology_->Connected(from, to, simulator_->now())) {
+  const TimeMs now = simulator_->now();
+  if (!topology_->Connected(from, to, now) ||
+      (injector_ != nullptr && !injector_->LinkUp(from, to, now))) {
     c_messages_unreachable_.Inc();
     return false;
   }
@@ -47,21 +53,38 @@ bool Network::Send(NodeId from, NodeId to, Bytes payload) {
     return true;  // transmitted, but lost in the air
   }
 
+  // Transmission delay is charged for the bytes the radio carried —
+  // the original payload — even if the injector then mangles them.
   const TimeMs delay =
       params_.base_latency_ms +
       static_cast<TimeMs>(static_cast<double>(payload.size()) /
                           params_.bytes_per_ms);
-  const std::size_t size = payload.size();
+
+  if (injector_ == nullptr) {
+    ScheduleDelivery(from, to, std::move(payload), delay);
+    return true;
+  }
+  for (FaultInjector::Delivery& d :
+       injector_->OnSend(from, to, now, std::move(payload))) {
+    ScheduleDelivery(from, to, std::move(d.payload), delay + d.extra_delay_ms);
+  }
+  return true;
+}
+
+void Network::ScheduleDelivery(NodeId from, NodeId to, Bytes payload,
+                               TimeMs delay) {
   simulator_->ScheduleAfter(
-      delay, [this, from, to, payload = std::move(payload), size]() {
+      delay, [this, from, to, payload = std::move(payload)]() {
         const auto it = endpoints_.find(to);
-        if (it == endpoints_.end()) return;
+        if (it == endpoints_.end()) {
+          c_messages_dead_letter_.Inc();
+          return;
+        }
         c_messages_delivered_.Inc();
-        c_bytes_delivered_.Inc(size);
-        if (it->second.meter != nullptr) it->second.meter->AddRx(size);
+        c_bytes_delivered_.Inc(payload.size());
+        if (it->second.meter != nullptr) it->second.meter->AddRx(payload.size());
         it->second.handler(from, payload);
       });
-  return true;
 }
 
 NetworkStats Network::stats() const {
@@ -70,6 +93,7 @@ NetworkStats Network::stats() const {
   s.messages_delivered = c_messages_delivered_.value();
   s.messages_dropped = c_messages_dropped_.value();
   s.messages_unreachable = c_messages_unreachable_.value();
+  s.messages_dead_letter = c_messages_dead_letter_.value();
   s.bytes_sent = c_bytes_sent_.value();
   s.bytes_delivered = c_bytes_delivered_.value();
   return s;

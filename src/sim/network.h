@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "sim/energy.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
 #include "telemetry/telemetry.h"
@@ -33,6 +34,7 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;     // random loss
   std::uint64_t messages_unreachable = 0; // not connected at send time
+  std::uint64_t messages_dead_letter = 0; // receiver gone at delivery time
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
 };
@@ -50,9 +52,20 @@ class Network {
   // Registers the delivery callback and energy meter for a node.
   void Register(NodeId node, Handler handler, EnergyMeter* meter = nullptr);
 
+  // Removes a node's endpoint (crashed / powered off). Messages
+  // already in flight toward it are counted as dead letters and
+  // dropped at delivery time.
+  void Deregister(NodeId node);
+
+  // Interposes a fault injector on every send (null disables). The
+  // injector must outlive the network.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   // Sends `payload` from `from` to `to`. Returns false (and charges
-  // nothing) if the two are not connected right now. Loss is charged
-  // to the sender (the radio transmitted either way).
+  // nothing) if the two are not connected right now — including links
+  // the fault injector currently holds down. Loss is charged to the
+  // sender (the radio transmitted either way).
   bool Send(NodeId from, NodeId to, Bytes payload);
 
   std::vector<NodeId> NeighborsOf(NodeId n) const {
@@ -72,10 +85,13 @@ class Network {
     EnergyMeter* meter = nullptr;
   };
 
+  void ScheduleDelivery(NodeId from, NodeId to, Bytes payload, TimeMs delay);
+
   Simulator* simulator_;
   const Topology* topology_;
   LinkParams params_;
   Rng rng_;
+  FaultInjector* injector_ = nullptr;
   std::map<NodeId, Endpoint> endpoints_;
   std::unique_ptr<telemetry::Telemetry> owned_telem_;
   telemetry::Telemetry* telem_ = nullptr;
@@ -83,6 +99,7 @@ class Network {
   telemetry::Counter c_messages_delivered_;
   telemetry::Counter c_messages_dropped_;
   telemetry::Counter c_messages_unreachable_;
+  telemetry::Counter c_messages_dead_letter_;
   telemetry::Counter c_bytes_sent_;
   telemetry::Counter c_bytes_delivered_;
   telemetry::Histogram h_message_bytes_;

@@ -110,6 +110,17 @@ void Snapshot::Merge(const Snapshot& other) {
   }
 }
 
+std::uint64_t Snapshot::CounterSumByPrefix(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  // counters is ordered by name: everything with the prefix forms one
+  // contiguous range starting at lower_bound(prefix).
+  for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
 std::vector<double> PowerOfTwoBounds(int n) {
   std::vector<double> bounds;
   double b = 1.0;

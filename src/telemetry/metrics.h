@@ -104,6 +104,11 @@ struct Snapshot {
   // bounds keep the left-hand side's shape and only add count/sum.
   void Merge(const Snapshot& other);
 
+  // Sum of every counter whose name starts with `prefix` (e.g.
+  // "fault." or "recon.initiator."). Invariant checks aggregate whole
+  // families with this instead of enumerating names.
+  std::uint64_t CounterSumByPrefix(const std::string& prefix) const;
+
   bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
   }

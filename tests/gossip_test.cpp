@@ -4,6 +4,8 @@
 #include "crdt/counters.h"
 #include "crdt/sets.h"
 #include "node/cluster.h"
+#include "recon/messages.h"
+#include "serial/codec.h"
 #include "sim/topology.h"
 
 namespace vegvisir::node {
@@ -308,6 +310,166 @@ TEST(GossipTest, EnergyAccountedDuringGossip) {
   for (int i = 0; i < 3; ++i) {
     EXPECT_GT(cluster.meter(i).radio_nj(), 0.0) << i;
     EXPECT_GT(cluster.meter(i).total_nj(), 0.0) << i;
+  }
+}
+
+// ------------------------------------------- Failure recovery paths
+
+TEST(GossipTest, UnreachablePeerEntersExponentialBackoff) {
+  // The injector holds every link down (flap p=1): each session's
+  // first send is refused, aborts immediately, and the peer goes on
+  // an exponentially growing cooldown instead of being re-picked
+  // every tick.
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.seed = 5;
+  cfg.faults = sim::FaultPlan::LinkFlap(1'000'000, 1.0);
+  Cluster cluster(cfg, &topo);
+
+  cluster.RunFor(10'000);
+  const GossipStats early = cluster.gossip(0).stats();
+  EXPECT_GT(early.sessions_aborted, 0u);
+  EXPECT_GT(early.backoffs, 0u);
+  const auto& backoff = cluster.gossip(0).peer_backoff();
+  ASSERT_EQ(backoff.count(1), 1u);
+  const std::uint32_t failures_early = backoff.at(1).failures;
+  EXPECT_GE(failures_early, 1u);
+
+  cluster.RunFor(110'000);  // 120 s total
+  const GossipStats late = cluster.gossip(0).stats();
+  EXPECT_GT(backoff.at(1).failures, failures_early);
+  // A naive engine would have attempted ~120 sessions (one per tick);
+  // exponential backoff (base 2 s, cap 60 s) caps the attempt budget.
+  EXPECT_LT(late.sessions_started, 30u);
+  EXPECT_EQ(late.sessions_completed, 0u);
+  // Ticks kept firing, but selection skipped the cooled-down peer.
+  EXPECT_GT(late.cooldown_skips, 0u);
+  EXPECT_GT(late.ticks, 100u);
+  // Nothing leaked: aborted sessions were torn down on the spot.
+  EXPECT_EQ(cluster.gossip(0).ActiveSessionCount(), 0u);
+}
+
+TEST(GossipTest, TimeoutRetryCooldownLifecycleThenRecovery) {
+  // Phase 1 (faults active): total message loss -> sessions time out,
+  // peers go on cooldown, bounded fast retries fire after backoff.
+  // Phase 2 (faults expire at 90 s): the next session completes and
+  // clears the peer's backoff record entirely.
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.seed = 17;
+  cfg.faults = sim::FaultPlan::Loss(1.0);
+  cfg.faults.active_until_ms = 90'000;
+  Cluster cluster(cfg, &topo);
+
+  cluster.RunFor(90'000);
+  const GossipStats mid = cluster.gossip(0).stats();
+  EXPECT_GT(mid.sessions_started, 0u);
+  EXPECT_EQ(mid.sessions_completed, 0u);
+  EXPECT_GT(mid.sessions_timed_out, 0u);   // expired, not leaked
+  EXPECT_GT(mid.backoffs, 0u);             // every timeout backed off
+  EXPECT_GT(mid.retries, 0u);              // fast retries fired
+  EXPECT_LE(mid.retries, std::uint64_t{cfg.gossip.max_fast_retries});
+
+  cluster.RunFor(120'000);
+  EXPECT_TRUE(cluster.Converged());
+  const GossipStats late = cluster.gossip(0).stats();
+  EXPECT_GT(late.sessions_completed, 0u);
+  // Success wipes the peer's failure history.
+  EXPECT_TRUE(cluster.gossip(0).peer_backoff().empty());
+}
+
+TEST(GossipTest, MalformedEnvelopesAreCountedAndIgnored) {
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(5'000);
+
+  // Short header, unknown direction byte, unknown initiator session.
+  ASSERT_TRUE(cluster.network().Send(1, 0, Bytes{0x01, 0x02}));
+  ASSERT_TRUE(cluster.network().Send(1, 0, Bytes(32, 0x7F)));
+  serial::Writer w;
+  w.WriteU8(1);                            // kToInitiator
+  w.WriteU64(0xDEADBEEFCAFEULL);           // no such session
+  ASSERT_TRUE(cluster.network().Send(1, 0, w.Take()));
+  cluster.RunFor(1'000);
+
+  const telemetry::MetricsRegistry& m = cluster.telemetry(0).metrics;
+  EXPECT_EQ(m.CounterValue("gossip.envelopes_rejected"), 3u);
+  EXPECT_GT(m.CounterValue("gossip.envelope_bytes_rejected"), 0u);
+  // The engine shrugged it off: gossip still converges.
+  cluster.RunFor(30'000);
+  EXPECT_TRUE(cluster.Converged());
+}
+
+TEST(GossipTest, OrphanedResponderStateIsReaped) {
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(5'000);
+  // Freeze node 1's initiator so it stops opening real responder
+  // sessions on node 0 under our feet (it still responds).
+  cluster.gossip(1).Stop();
+  const std::size_t baseline = cluster.gossip(0).ResponderSessionCount();
+
+  // A hand-rolled initiator opens a session toward node 0 and then
+  // vanishes without ever following up.
+  recon::FrontierRequest req;
+  req.level = 1;
+  req.hashes_only = true;
+  req.genesis = cluster.node(0).dag().genesis_hash();
+  req.frontier_digest.fill(0x31);  // mismatched: no fast path
+  serial::Writer w;
+  w.WriteU8(0);                              // kToResponder
+  w.WriteU64((std::uint64_t{1} << 40) | 7);  // plausible foreign id
+  Bytes env = w.Take();
+  Append(&env, recon::EncodeMessage(req));
+  ASSERT_TRUE(cluster.network().Send(1, 0, std::move(env)));
+  cluster.RunFor(2'000);
+  EXPECT_EQ(cluster.gossip(0).ResponderSessionCount(), baseline + 1);
+
+  // One idle session-timeout later the state is gone and counted.
+  cluster.RunFor(cfg.gossip.session_timeout_ms + 5'000);
+  const telemetry::MetricsRegistry& m = cluster.telemetry(0).metrics;
+  EXPECT_GT(m.CounterValue("recon.responder.sessions_orphaned"), 0u);
+  // Steady state holds no responder entries older than the timeout.
+  cluster.gossip(0).Stop();
+  cluster.gossip(1).Stop();
+  cluster.RunFor(cfg.gossip.session_timeout_ms + 5'000);
+  EXPECT_EQ(cluster.gossip(0).ResponderSessionCount(), 0u);
+  EXPECT_EQ(cluster.gossip(1).ResponderSessionCount(), 0u);
+}
+
+TEST(GossipTest, SessionAccountingIdentityHolds) {
+  // started == completed + failed + timed_out + aborted once the
+  // engines quiesce — no state can leave the books silently.
+  sim::ExplicitTopology topo(3);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.seed = 23;
+  cfg.link.drop_probability = 0.3;  // plenty of failures and timeouts
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(180'000);
+  for (int i = 0; i < cluster.size(); ++i) cluster.gossip(i).Stop();
+  cluster.RunFor(cfg.gossip.session_timeout_ms + 10'000);  // drain
+
+  for (int i = 0; i < cluster.size(); ++i) {
+    ASSERT_EQ(cluster.gossip(i).ActiveSessionCount(), 0u) << i;
+    const telemetry::MetricsRegistry& m = cluster.telemetry(i).metrics;
+    EXPECT_EQ(m.CounterValue("recon.initiator.sessions_started"),
+              m.CounterValue("recon.initiator.sessions_completed") +
+                  m.CounterValue("recon.initiator.sessions_failed") +
+                  m.CounterValue("gossip.sessions_timed_out") +
+                  m.CounterValue("gossip.sessions_aborted"))
+        << i;
   }
 }
 

@@ -583,5 +583,96 @@ TEST(SessionTest, LevelCapFailsGracefully) {
   EXPECT_EQ(state, SessionState::kFailed);
 }
 
+// ------------------------------------------------- Decoder hardening
+
+TEST(MessagesTest, HugeHashCountRejectedWithoutAllocating) {
+  // A corrupted varint near 2^64 must fail the bounds check, not wrap
+  // the `count * sizeof(hash)` multiply and drive reserve() into an
+  // allocation bomb.
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kBlockRequest));
+  w.WriteVarint(0xFFFF'FFFF'FFFF'FFFFULL);
+  BlockRequest out;
+  EXPECT_FALSE(DecodeMessage(w.Take(), &out).ok());
+
+  serial::Writer w2;
+  w2.WriteU8(static_cast<std::uint8_t>(MessageType::kBlockRequest));
+  // Big enough to pass a naive `count*32 > remaining` check only via
+  // u64 wraparound (2^59 * 32 == 2^64 == 0).
+  w2.WriteVarint(std::uint64_t{1} << 59);
+  BlockRequest out2;
+  EXPECT_FALSE(DecodeMessage(w2.Take(), &out2).ok());
+}
+
+TEST(MessagesTest, TruncatedEncodingsNeverDecode) {
+  // Every strict prefix of a valid encoding must be rejected with a
+  // Status — the fault injector produces exactly these bytes.
+  std::vector<Bytes> messages;
+  FrontierRequest freq;
+  freq.level = 3;
+  freq.genesis.fill(0x11);
+  messages.push_back(EncodeMessage(freq));
+  FrontierResponse fresp;
+  fresp.level = 2;
+  fresp.genesis.fill(0x22);
+  BlockHash h{};
+  h.fill(7);
+  fresp.hashes = {h};
+  fresp.blocks = {Bytes{1, 2, 3}};
+  messages.push_back(EncodeMessage(fresp));
+  BlockRequest breq;
+  breq.hashes = {h};
+  messages.push_back(EncodeMessage(breq));
+  BlockResponse bresp;
+  bresp.blocks = {Bytes{4, 5}};
+  messages.push_back(EncodeMessage(bresp));
+  PushBlocks push;
+  push.blocks = {Bytes{6}};
+  messages.push_back(EncodeMessage(push));
+
+  for (const Bytes& full : messages) {
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      const Bytes prefix(full.begin(),
+                         full.begin() + static_cast<std::ptrdiff_t>(len));
+      FrontierRequest a;
+      FrontierResponse b;
+      BlockRequest c;
+      BlockResponse d;
+      PushBlocks e;
+      EXPECT_FALSE(DecodeMessage(prefix, &a).ok() ||
+                   DecodeMessage(prefix, &b).ok() ||
+                   DecodeMessage(prefix, &c).ok() ||
+                   DecodeMessage(prefix, &d).ok() ||
+                   DecodeMessage(prefix, &e).ok())
+          << "prefix of length " << len << " decoded";
+    }
+  }
+}
+
+TEST(SessionTest, ResponderClampsAbsurdFrontierLevel) {
+  Cluster c;
+  auto a = c.MakeNode("owner", 1);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(a->AddWitnessBlock().ok());
+
+  // A corrupted level (> INT_MAX) used to wrap negative through an
+  // int cast; the responder must serve it clamped, not misbehave.
+  FrontierRequest req;
+  req.level = 0xFFFF'FFFFu;
+  req.hashes_only = true;
+  req.genesis = a->dag().genesis_hash();
+  // Digest deliberately mismatched so the fast path is skipped.
+  req.frontier_digest.fill(0x5C);
+
+  ResponderSession responder(a.get(), a->recon_config());
+  std::vector<Bytes> replies;
+  ASSERT_TRUE(responder.OnMessage(EncodeMessage(req), &replies).ok());
+  ASSERT_EQ(replies.size(), 1u);
+  FrontierResponse resp;
+  ASSERT_TRUE(DecodeMessage(replies[0], &resp).ok());
+  // A level this deep covers the whole DAG: the response must carry
+  // every block hash, genesis included.
+  EXPECT_EQ(resp.hashes.size(), a->dag().Size());
+}
+
 }  // namespace
 }  // namespace vegvisir::recon

@@ -261,6 +261,194 @@ TEST(NetworkTest, EnergyChargedToBothEnds) {
   EXPECT_GT(sender.radio_nj(), receiver.radio_nj());  // tx > rx per byte
 }
 
+// ----------------------------------------------------------- FaultInjector
+
+TEST(FaultPlanTest, EmptyAndMerge) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.Empty());
+  plan.Merge(FaultPlan::Corruption(0.1))
+      .Merge(FaultPlan::Loss(0.3))
+      .Merge(FaultPlan::LinkFlap(5'000, 0.2))
+      .Merge(FaultPlan::CrashRestart(2, 10'000, 20'000));
+  EXPECT_FALSE(plan.Empty());
+  EXPECT_DOUBLE_EQ(plan.corrupt_probability, 0.1);
+  EXPECT_DOUBLE_EQ(plan.drop_probability, 0.3);
+  EXPECT_EQ(plan.flap_period_ms, 5'000u);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].node, 2);
+  // Merging takes the stronger probability, never weakens.
+  plan.Merge(FaultPlan::Corruption(0.05));
+  EXPECT_DOUBLE_EQ(plan.corrupt_probability, 0.1);
+  plan.Merge(FaultPlan::Corruption(0.5));
+  EXPECT_DOUBLE_EQ(plan.corrupt_probability, 0.5);
+}
+
+TEST(FaultInjectorTest, NoFaultsPassesPayloadThrough) {
+  FaultInjector inj(FaultPlan{}, 7);
+  const Bytes payload{1, 2, 3, 4};
+  auto out = inj.OnSend(0, 1, 0, payload);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, payload);
+  EXPECT_EQ(out[0].extra_delay_ms, 0u);
+  EXPECT_TRUE(inj.LinkUp(0, 1, 0));
+  EXPECT_EQ(inj.ClockSkewFor(0, 0), 0);
+}
+
+TEST(FaultInjectorTest, LossDropsAndCounts) {
+  FaultInjector inj(FaultPlan::Loss(1.0), 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(inj.OnSend(0, 1, 0, Bytes{1, 2}).empty());
+  }
+  EXPECT_EQ(inj.stats().messages_dropped, 10u);
+}
+
+TEST(FaultInjectorTest, CorruptionMutatesBytesButNotSize) {
+  FaultInjector inj(FaultPlan::Corruption(1.0), 7);
+  const Bytes original(64, 0xAA);
+  bool mutated = false;
+  for (int i = 0; i < 8; ++i) {
+    auto out = inj.OnSend(0, 1, 0, original);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].payload.size(), original.size());
+    if (out[0].payload != original) mutated = true;
+  }
+  EXPECT_TRUE(mutated);
+  EXPECT_EQ(inj.stats().messages_corrupted, 8u);
+}
+
+TEST(FaultInjectorTest, TruncationShrinksAndAccountsBytes) {
+  FaultInjector inj(FaultPlan::Truncation(1.0), 7);
+  std::uint64_t removed = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto out = inj.OnSend(0, 1, 0, Bytes(100, 1));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_LT(out[0].payload.size(), 100u);
+    removed += 100 - out[0].payload.size();
+  }
+  EXPECT_EQ(inj.stats().messages_truncated, 8u);
+  EXPECT_EQ(inj.stats().bytes_truncated, removed);
+}
+
+TEST(FaultInjectorTest, DuplicationDeliversTwiceWithTrailingCopy) {
+  FaultInjector inj(FaultPlan::Duplication(1.0), 7);
+  auto out = inj.OnSend(0, 1, 0, Bytes{9, 9, 9});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, out[1].payload);
+  // The copy must trail the original, else it is not a reorder hazard.
+  EXPECT_GT(out[0].extra_delay_ms, out[1].extra_delay_ms);
+  EXPECT_EQ(inj.stats().messages_duplicated, 1u);
+}
+
+TEST(FaultInjectorTest, FlapIsSymmetricWindowedAndEventuallyDown) {
+  FaultInjector a(FaultPlan::LinkFlap(1'000, 0.5), 21);
+  FaultInjector b(FaultPlan::LinkFlap(1'000, 0.5), 21);
+  int down_windows = 0;
+  for (TimeMs w = 0; w < 50; ++w) {
+    const TimeMs t = w * 1'000;
+    const bool up = a.LinkUp(2, 5, t);
+    EXPECT_EQ(up, b.LinkUp(5, 2, t));        // direction-symmetric
+    EXPECT_EQ(up, a.LinkUp(2, 5, t + 999));  // stable within the window
+    if (!up) ++down_windows;
+  }
+  EXPECT_GT(down_windows, 0);
+  EXPECT_LT(down_windows, 50);
+}
+
+TEST(FaultInjectorTest, ClockSkewBoundedStableAndOverridable) {
+  FaultPlan plan = FaultPlan::ClockSkew(3'000);
+  plan.clock_skew_ms[4] = -12'345;
+  FaultInjector inj(plan, 99);
+  for (NodeId n = 0; n < 4; ++n) {
+    const std::int64_t skew = inj.ClockSkewFor(n, 0);
+    EXPECT_LE(skew, 3'000);
+    EXPECT_GE(skew, -3'000);
+    EXPECT_EQ(skew, inj.ClockSkewFor(n, 500'000));  // per-node constant
+  }
+  EXPECT_EQ(inj.ClockSkewFor(4, 0), -12'345);  // explicit entry wins
+}
+
+TEST(FaultInjectorTest, ActiveUntilAndDeactivateEndFaults) {
+  FaultPlan plan = FaultPlan::Loss(1.0).Merge(FaultPlan::ClockSkew(3'000));
+  plan.active_until_ms = 1'000;
+  FaultInjector inj(plan, 7);
+  EXPECT_TRUE(inj.OnSend(0, 1, 0, Bytes{1}).empty());
+  EXPECT_EQ(inj.OnSend(0, 1, 1'000, Bytes{1}).size(), 1u);  // expired
+  EXPECT_EQ(inj.ClockSkewFor(0, 1'000), 0);
+
+  FaultInjector forever(FaultPlan::Loss(1.0), 7);
+  forever.Deactivate();
+  EXPECT_EQ(forever.OnSend(0, 1, 0, Bytes{1}).size(), 1u);
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossInstances) {
+  FaultPlan plan = FaultPlan::Corruption(0.5)
+                       .Merge(FaultPlan::Truncation(0.3))
+                       .Merge(FaultPlan::Duplication(0.3))
+                       .Merge(FaultPlan::Reorder(0.5, 200));
+  FaultInjector a(plan, 1234), b(plan, 1234);
+  for (int i = 0; i < 32; ++i) {
+    const auto da = a.OnSend(0, 1, i * 10, Bytes(32, 0x5C));
+    const auto db = b.OnSend(0, 1, i * 10, Bytes(32, 0x5C));
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t j = 0; j < da.size(); ++j) {
+      EXPECT_EQ(da[j].payload, db[j].payload);
+      EXPECT_EQ(da[j].extra_delay_ms, db[j].extra_delay_ms);
+    }
+  }
+}
+
+TEST(NetworkTest, DeregisteredReceiverBecomesDeadLetter) {
+  Simulator s;
+  ExplicitTopology topo(2);
+  topo.AddLink(0, 1);
+  Network net(&s, &topo, LinkParams{}, 1);
+  int delivered = 0;
+  net.Register(1, [&](NodeId, const Bytes&) { ++delivered; });
+  ASSERT_TRUE(net.Send(0, 1, Bytes{1}));
+  net.Deregister(1);  // receiver powers off with the message in flight
+  s.RunAll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().messages_dead_letter, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST(NetworkTest, FaultInjectorInterposesOnSends) {
+  Simulator s;
+  ExplicitTopology topo(2);
+  topo.AddLink(0, 1);
+  Network net(&s, &topo, LinkParams{}, 1);
+  FaultInjector inj(FaultPlan::Duplication(1.0), 3, net.telemetry());
+  net.SetFaultInjector(&inj);
+  int delivered = 0;
+  std::uint64_t delivered_bytes = 0;
+  net.Register(1, [&](NodeId, const Bytes& p) {
+    ++delivered;
+    delivered_bytes += p.size();
+  });
+  ASSERT_TRUE(net.Send(0, 1, Bytes(10, 7)));
+  s.RunAll();
+  EXPECT_EQ(delivered, 2);  // original + duplicate
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 10u);   // the radio sent one copy
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+  EXPECT_EQ(net.stats().bytes_delivered, delivered_bytes);
+  EXPECT_EQ(inj.stats().messages_duplicated, 1u);
+}
+
+TEST(NetworkTest, FlappedLinkRefusesSends) {
+  Simulator s;
+  ExplicitTopology topo(2);
+  topo.AddLink(0, 1);
+  Network net(&s, &topo, LinkParams{}, 1);
+  FaultInjector inj(FaultPlan::LinkFlap(1'000, 1.0), 3, net.telemetry());
+  net.SetFaultInjector(&inj);
+  net.Register(1, [](NodeId, const Bytes&) { FAIL(); });
+  EXPECT_FALSE(net.Send(0, 1, Bytes{1}));
+  s.RunAll();
+  EXPECT_EQ(net.stats().messages_unreachable, 1u);
+  EXPECT_EQ(inj.stats().sends_flap_blocked, 1u);
+}
+
 // ----------------------------------------------------------------- Energy
 
 TEST(EnergyMeterTest, AccumulatesPerCategory) {
