@@ -1,0 +1,25 @@
+// Fuzz target: chain::Block wire decoder (full block: header,
+// transactions, signature).
+//
+// Historical crasher pinned by tests/corpus/block/crash-*.bin: a
+// parent count near 2^64 wrapped the `count * sizeof(hash)` bounds
+// check and drove parents.reserve() into an allocation bomb
+// (std::length_error). The guard now divides instead.
+#include <cstddef>
+#include <cstdint>
+
+#include "chain/block.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vegvisir;
+  const ByteSpan input(data, size);
+  StatusOr<chain::Block> block = chain::Block::Deserialize(input);
+  if (!block.ok()) return 0;
+  // Deserialize enforces canonical form end to end (minimal varints,
+  // sorted parents, no trailing bytes), so success implies an exact
+  // byte round trip — and a hash that commits to the input bytes.
+  fuzz::CheckRoundTrip("fuzz_block", input, block->Serialize());
+  return 0;
+}

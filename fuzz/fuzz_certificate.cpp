@@ -1,0 +1,17 @@
+// Fuzz target: chain::Certificate wire decoder (user id, public key,
+// role, CA signature — the form stored in the membership set U).
+#include <cstddef>
+#include <cstdint>
+
+#include "chain/certificate.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vegvisir;
+  const ByteSpan input(data, size);
+  StatusOr<chain::Certificate> cert = chain::Certificate::Deserialize(input);
+  if (!cert.ok()) return 0;
+  fuzz::CheckRoundTrip("fuzz_certificate", input, cert->Serialize());
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fuzz target: crdt::Value decoder (the typed transaction-argument
+// dynamic value: bool / zigzag int / string / bytes).
+//
+// Like Transaction::Decode this is a streaming decoder, so the oracle
+// round-trips the consumed prefix.
+#include <cstddef>
+#include <cstdint>
+
+#include "crdt/value.h"
+#include "fuzz_util.h"
+#include "serial/codec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vegvisir;
+  const ByteSpan input(data, size);
+  serial::Reader r(input);
+  crdt::Value v;
+  if (!crdt::Value::Decode(&r, &v).ok()) return 0;
+  serial::Writer w;
+  v.Encode(&w);
+  fuzz::CheckRoundTrip("fuzz_crdt_value",
+                       input.subspan(0, input.size() - r.remaining()),
+                       w.buffer());
+  return 0;
+}

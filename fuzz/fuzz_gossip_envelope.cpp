@@ -1,0 +1,58 @@
+// Fuzz target: the gossip envelope framing plus the recon payload it
+// carries — the exact byte path a hostile radio neighbour controls
+// (node/gossip.cpp hands every received datagram to ParseEnvelope
+// before any session sees the payload).
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_util.h"
+#include "node/gossip.h"
+#include "recon/messages.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vegvisir;
+  const ByteSpan input(data, size);
+  node::GossipEnvelope env;
+  if (!node::ParseEnvelope(input, &env).ok()) return 0;
+  if (env.direction != node::kEnvelopeToResponder &&
+      env.direction != node::kEnvelopeToInitiator) {
+    fuzz::OracleFailure("fuzz_gossip_envelope",
+                        "accepted envelope with invalid direction");
+  }
+  if (env.payload.size() + node::kEnvelopeHeaderBytes != input.size()) {
+    fuzz::OracleFailure("fuzz_gossip_envelope",
+                        "payload view does not cover the envelope body");
+  }
+  // Drive the payload through the same decoders a session would use.
+  StatusOr<recon::MessageType> type = recon::PeekType(env.payload);
+  if (!type.ok()) return 0;
+  switch (*type) {
+    case recon::MessageType::kFrontierRequest: {
+      recon::FrontierRequest m;
+      (void)recon::DecodeMessage(env.payload, &m);
+      break;
+    }
+    case recon::MessageType::kFrontierResponse: {
+      recon::FrontierResponse m;
+      (void)recon::DecodeMessage(env.payload, &m);
+      break;
+    }
+    case recon::MessageType::kBlockRequest: {
+      recon::BlockRequest m;
+      (void)recon::DecodeMessage(env.payload, &m);
+      break;
+    }
+    case recon::MessageType::kBlockResponse: {
+      recon::BlockResponse m;
+      (void)recon::DecodeMessage(env.payload, &m);
+      break;
+    }
+    case recon::MessageType::kPushBlocks: {
+      recon::PushBlocks m;
+      (void)recon::DecodeMessage(env.payload, &m);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fuzz target: the five reconciliation wire messages (paper §IV-G).
+//
+// Dispatches on PeekType exactly like the sessions do, then decodes
+// the matching message. ReadHashes/ReadBlockList carry the same
+// count-bomb hazard the block decoder had; the divide-style guards
+// are pinned by corpus entries under tests/corpus/recon_messages/.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_util.h"
+#include "recon/messages.h"
+
+namespace {
+
+template <typename M>
+void DecodeAndRoundTrip(vegvisir::ByteSpan input) {
+  using namespace vegvisir;
+  M m;
+  if (!recon::DecodeMessage(input, &m).ok()) return;
+  fuzz::CheckRoundTrip("fuzz_recon_messages", input, recon::EncodeMessage(m));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vegvisir;
+  const ByteSpan input(data, size);
+  StatusOr<recon::MessageType> type = recon::PeekType(input);
+  if (!type.ok()) return 0;
+  switch (*type) {
+    case recon::MessageType::kFrontierRequest:
+      DecodeAndRoundTrip<recon::FrontierRequest>(input);
+      break;
+    case recon::MessageType::kFrontierResponse:
+      DecodeAndRoundTrip<recon::FrontierResponse>(input);
+      break;
+    case recon::MessageType::kBlockRequest:
+      DecodeAndRoundTrip<recon::BlockRequest>(input);
+      break;
+    case recon::MessageType::kBlockResponse:
+      DecodeAndRoundTrip<recon::BlockResponse>(input);
+      break;
+    case recon::MessageType::kPushBlocks:
+      DecodeAndRoundTrip<recon::PushBlocks>(input);
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz target: chain::Transaction decoder (crdt name, op, typed
+// argument list).
+//
+// Transaction::Decode is a streaming decoder (no ExpectEnd — blocks
+// embed a sequence of them), so the round-trip oracle compares the
+// re-encoding against the consumed prefix only.
+#include <cstddef>
+#include <cstdint>
+
+#include "chain/transaction.h"
+#include "fuzz_util.h"
+#include "serial/codec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vegvisir;
+  const ByteSpan input(data, size);
+  serial::Reader r(input);
+  chain::Transaction tx;
+  if (!chain::Transaction::Decode(&r, &tx).ok()) return 0;
+  serial::Writer w;
+  tx.Encode(&w);
+  fuzz::CheckRoundTrip("fuzz_transaction",
+                       input.subspan(0, input.size() - r.remaining()),
+                       w.buffer());
+  return 0;
+}

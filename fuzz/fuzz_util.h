@@ -1,0 +1,43 @@
+// Shared helpers for the wire-decoder fuzz targets.
+//
+// Each target defines LLVMFuzzerTestOneInput and nothing else, so the
+// same object links against libFuzzer (Clang, VEGVISIR_FUZZ=ON) or
+// against the standalone replay/mutation driver (everything else; see
+// standalone_driver.cpp).
+//
+// The decoders under test are canonical: a value has exactly one
+// encoding, minimal-length varints are enforced and ExpectEnd()
+// rejects trailing bytes. That yields a strong oracle beyond "must not
+// crash": whenever a decode succeeds, re-encoding must reproduce the
+// input bytes exactly. A violation means two encodings map to one
+// value (breaking hash-as-commitment) and aborts the process so both
+// drivers report it as a crash.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/bytes.h"
+
+namespace vegvisir::fuzz {
+
+inline bool SpanEq(ByteSpan a, ByteSpan b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+[[noreturn]] inline void OracleFailure(const char* target, const char* what) {
+  std::fprintf(stderr, "%s: oracle violated: %s\n", target, what);
+  std::abort();
+}
+
+// Round-trip check: `reencoded` must equal the consumed prefix of the
+// fuzz input (the whole input when the decoder enforces ExpectEnd).
+inline void CheckRoundTrip(const char* target, ByteSpan consumed,
+                           ByteSpan reencoded) {
+  if (!SpanEq(consumed, reencoded)) {
+    OracleFailure(target, "decode/encode round trip is not byte-identical");
+  }
+}
+
+}  // namespace vegvisir::fuzz

@@ -1,0 +1,177 @@
+// Standalone driver for the fuzz targets when libFuzzer is not
+// available (GCC builds, ctest smoke runs).
+//
+// Two phases, both deterministic:
+//   1. Replay: every file under the given paths (files or directories,
+//      recursed) is fed to LLVMFuzzerTestOneInput verbatim. This is
+//      how committed crash corpora act as regression tests even in
+//      uninstrumented builds.
+//   2. Mutate: a seeded xoshiro Rng repeatedly picks a corpus input
+//      (or starts empty), applies a burst of structure-unaware
+//      mutations (bit flips, truncation, insertion, splicing, varint
+//      bombs) and runs the result. No coverage feedback — this is a
+//      smoke screen, not a search — but the same binary recompiled
+//      with Clang and -fsanitize=fuzzer gets the real engine.
+//
+// Usage: fuzz_target [--mutations N] [--seed S] [--max-len L] [path...]
+// Exits 0 unless the target aborts (oracle violation / sanitizer).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using vegvisir::Bytes;
+using vegvisir::Rng;
+
+bool ReadFile(const std::filesystem::path& path, Bytes* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+void CollectInputs(const std::string& arg, std::vector<Bytes>* corpus,
+                   std::size_t* files) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path path(arg);
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> entries;
+    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+      if (entry.is_regular_file(ec)) entries.push_back(entry.path());
+    }
+    // Directory iteration order is filesystem-dependent; sort so the
+    // mutation phase below sees a deterministic corpus ordering.
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path& p : entries) {
+      Bytes data;
+      if (ReadFile(p, &data)) {
+        corpus->push_back(std::move(data));
+        ++*files;
+      }
+    }
+  } else {
+    Bytes data;
+    if (ReadFile(path, &data)) {
+      corpus->push_back(std::move(data));
+      ++*files;
+    } else {
+      std::fprintf(stderr, "warning: cannot read %s\n", arg.c_str());
+    }
+  }
+}
+
+void Mutate(Rng& rng, std::size_t max_len, Bytes* input) {
+  const std::uint64_t burst = 1 + rng.NextBelow(8);
+  for (std::uint64_t i = 0; i < burst; ++i) {
+    switch (rng.NextBelow(6)) {
+      case 0:  // flip bits in one byte
+        if (!input->empty()) {
+          (*input)[rng.NextBelow(input->size())] ^=
+              static_cast<std::uint8_t>(1u << rng.NextBelow(8));
+        }
+        break;
+      case 1:  // overwrite a byte with an interesting value
+        if (!input->empty()) {
+          static constexpr std::uint8_t kMagic[] = {0x00, 0x01, 0x7f, 0x80,
+                                                    0xfe, 0xff};
+          (*input)[rng.NextBelow(input->size())] =
+              kMagic[rng.NextBelow(sizeof(kMagic))];
+        }
+        break;
+      case 2:  // insert a random byte
+        if (input->size() < max_len) {
+          input->insert(input->begin() +
+                            static_cast<std::ptrdiff_t>(
+                                rng.NextBelow(input->size() + 1)),
+                        static_cast<std::uint8_t>(rng.NextBelow(256)));
+        }
+        break;
+      case 3:  // erase a byte
+        if (!input->empty()) {
+          input->erase(input->begin() +
+                       static_cast<std::ptrdiff_t>(
+                           rng.NextBelow(input->size())));
+        }
+        break;
+      case 4:  // truncate
+        if (!input->empty()) {
+          input->resize(rng.NextBelow(input->size()));
+        }
+        break;
+      case 5: {  // splice in a maximal varint (count-bomb bait)
+        static constexpr std::uint8_t kBomb[] = {0x81, 0x80, 0x80, 0x80, 0x80,
+                                                 0x80, 0x80, 0x80, 0x80, 0x01};
+        if (input->size() + sizeof(kBomb) <= max_len) {
+          const std::size_t at = rng.NextBelow(input->size() + 1);
+          input->insert(input->begin() + static_cast<std::ptrdiff_t>(at),
+                        kBomb, kBomb + sizeof(kBomb));
+        }
+        break;
+      }
+    }
+  }
+  if (input->size() > max_len) input->resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t mutations = 2000;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 16;
+  std::vector<Bytes> corpus;
+  std::size_t files = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mutations") {
+      mutations = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-len") {
+      max_len = std::strtoull(next(), nullptr, 10);
+    } else {
+      CollectInputs(arg, &corpus, &files);
+    }
+  }
+
+  for (const Bytes& input : corpus) {
+    (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < mutations; ++i) {
+    Bytes input;
+    if (!corpus.empty() && rng.NextBool(0.85)) {
+      input = corpus[rng.NextBelow(corpus.size())];
+    }
+    Mutate(rng, max_len, &input);
+    (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  std::printf("replayed %zu corpus files, ran %llu mutations: ok\n", files,
+              static_cast<unsigned long long>(mutations));
+  return 0;
+}

@@ -43,7 +43,10 @@ Status BlockHeader::Decode(serial::Reader* r, BlockHeader* out) {
   }
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count * sizeof(BlockHash) > r->remaining()) {
+  // Divide instead of multiplying: a hostile count near 2^64 would
+  // wrap `count * sizeof(hash)` past the check and drive the
+  // reserve() below into an allocation bomb.
+  if (count > r->remaining() / sizeof(BlockHash)) {
     return InvalidArgumentError("parent count exceeds input");
   }
   out->parents.clear();

@@ -36,32 +36,38 @@ std::string DagToDot(const Dag& dag, const DotOptions& options) {
   return out;
 }
 
-bool ParseTxId(const std::string& tx_id, BlockHash* block,
-               std::size_t* index) {
+Status ParseTxId(const std::string& tx_id, BlockHash* block,
+                 std::size_t* index) {
   const std::size_t colon = tx_id.find(':');
-  if (colon != 64 || colon + 1 >= tx_id.size()) return false;
+  if (colon != 64 || colon + 1 >= tx_id.size()) {
+    return InvalidArgumentError("tx id is not <64-hex>:<index>");
+  }
   Bytes raw;
   if (!FromHex(tx_id.substr(0, colon), &raw) || raw.size() != block->size()) {
-    return false;
+    return InvalidArgumentError("tx id hash is not valid hex");
   }
   std::copy(raw.begin(), raw.end(), block->begin());
   std::size_t idx = 0;
   for (std::size_t i = colon + 1; i < tx_id.size(); ++i) {
     const char c = tx_id[i];
-    if (c < '0' || c > '9') return false;
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("tx id index is not decimal");
+    }
     idx = idx * 10 + static_cast<std::size_t>(c - '0');
-    if (idx > 1'000'000) return false;  // implausible index
+    if (idx > 1'000'000) {
+      return InvalidArgumentError("tx id index is implausibly large");
+    }
   }
   *index = idx;
-  return true;
+  return Status::Ok();
 }
 
 bool HappensBefore(const Dag& dag, const std::string& tx_a,
                    const std::string& tx_b) {
   BlockHash block_a, block_b;
   std::size_t index_a, index_b;
-  if (!ParseTxId(tx_a, &block_a, &index_a) ||
-      !ParseTxId(tx_b, &block_b, &index_b)) {
+  if (!ParseTxId(tx_a, &block_a, &index_a).ok() ||
+      !ParseTxId(tx_b, &block_b, &index_b).ok()) {
     return false;
   }
   if (!dag.Contains(block_a) || !dag.Contains(block_b)) return false;

@@ -26,8 +26,8 @@ struct DotOptions {
 std::string DagToDot(const Dag& dag, const DotOptions& options = {});
 
 // Parses "<64-hex>:<index>" into the containing block's hash.
-// Returns false on malformed input.
-bool ParseTxId(const std::string& tx_id, BlockHash* block, std::size_t* index);
+Status ParseTxId(const std::string& tx_id, BlockHash* block,
+                 std::size_t* index);
 
 // True iff transaction `a` is in the causal past of transaction `b`
 // (strictly: same block counts as ordered by index). False when

@@ -98,7 +98,8 @@ StatusOr<Dag> DeserializeDag(ByteSpan data) {
       VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&h));
       std::uint64_t parent_count;
       VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&parent_count));
-      if (parent_count * sizeof(BlockHash) > r.remaining()) {
+      // Divide, don't multiply: a hostile count must not wrap the check.
+      if (parent_count > r.remaining() / sizeof(BlockHash)) {
         return InvalidArgumentError("parent count exceeds input");
       }
       std::vector<BlockHash> parents;

@@ -136,7 +136,8 @@ Status Membership::DecodeState(serial::Reader* r) {
     VEGVISIR_RETURN_IF_ERROR(r->ReadBool(&rec.revoked));
     std::uint64_t rev_count;
     VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&rev_count));
-    if (rev_count * sizeof(chain::BlockHash) > r->remaining()) {
+    // Divide, don't multiply: a hostile count must not wrap the check.
+    if (rev_count > r->remaining() / sizeof(chain::BlockHash)) {
       return InvalidArgumentError("revocation count exceeds input");
     }
     for (std::uint64_t j = 0; j < rev_count; ++j) {

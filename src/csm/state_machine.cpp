@@ -444,7 +444,8 @@ Status StateMachine::LoadSnapshot(ByteSpan data) {
   }
 
   VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&count));
-  if (count * sizeof(chain::BlockHash) > r.remaining()) {
+  // Divide, don't multiply: a hostile count must not wrap the check.
+  if (count > r.remaining() / sizeof(chain::BlockHash)) {
     return InvalidArgumentError("applied-block count exceeds input");
   }
   for (std::uint64_t i = 0; i < count; ++i) {

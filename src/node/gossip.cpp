@@ -6,13 +6,18 @@
 #include "serial/codec.h"
 
 namespace vegvisir::node {
-namespace {
 
-constexpr std::uint8_t kToResponder = 0;
-constexpr std::uint8_t kToInitiator = 1;
-constexpr std::size_t kEnvelopeHeaderBytes = 9;  // u8 direction + u64 id
-
-}  // namespace
+Status ParseEnvelope(ByteSpan envelope, GossipEnvelope* out) {
+  serial::Reader r(envelope);
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU8(&out->direction));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU64(&out->session_id));
+  if (out->direction != kEnvelopeToResponder &&
+      out->direction != kEnvelopeToInitiator) {
+    return InvalidArgumentError("unknown envelope direction");
+  }
+  out->payload = envelope.subspan(kEnvelopeHeaderBytes);
+  return Status::Ok();
+}
 
 GossipEngine::GossipEngine(Node* node, sim::Simulator* simulator,
                            sim::Network* network, sim::NodeId id,
@@ -133,7 +138,7 @@ void GossipEngine::StartSessionWith(sim::NodeId peer) {
   // The session itself counts recon.initiator.sessions_started.
   const Bytes first = active.session->Start();
   sessions_.emplace(session_id, std::move(active));
-  if (!SendEnvelope(peer, kToResponder, session_id, first)) {
+  if (!SendEnvelope(peer, kEnvelopeToResponder, session_id, first)) {
     // The radio could not reach the peer at all (moved out of range,
     // or the link is flapped down): fail fast so the backoff starts
     // counting now instead of after a full session timeout.
@@ -154,24 +159,22 @@ void GossipEngine::RetryPeer(sim::NodeId peer) {
 
 void GossipEngine::OnMessage(sim::NodeId from, const Bytes& envelope) {
   if (shutdown_) return;
-  serial::Reader r(envelope);
-  std::uint8_t direction = 0;
-  std::uint64_t session_id = 0;
-  if (!r.ReadU8(&direction).ok() || !r.ReadU64(&session_id).ok() ||
-      (direction != kToResponder && direction != kToInitiator)) {
+  GossipEnvelope env;
+  if (!ParseEnvelope(envelope, &env).ok()) {
     RejectEnvelope(envelope.size());
     return;
   }
-  const Bytes payload(envelope.begin() + kEnvelopeHeaderBytes, envelope.end());
+  const std::uint64_t session_id = env.session_id;
+  const ByteSpan payload = env.payload;
   const sim::TimeMs now = simulator_->now();
 
-  if (direction == kToResponder) {
+  if (env.direction == kEnvelopeToResponder) {
     ResponderState& responder = ResponderFor(session_id, now);
     responder.last_activity_ms = now;
     std::vector<Bytes> replies;
     const Status s = responder.session.OnMessage(payload, &replies);
     for (const Bytes& reply : replies) {
-      SendEnvelope(from, kToInitiator, session_id, reply);
+      SendEnvelope(from, kEnvelopeToInitiator, session_id, reply);
     }
     if (!s.ok()) {
       // Undecodable request (initiator bug or injector damage): this
@@ -197,7 +200,7 @@ void GossipEngine::OnMessage(sim::NodeId from, const Bytes& envelope) {
       std::max(resume_level_[from], it->second.session->level());
   bool sent_all = true;
   for (const Bytes& reply : replies) {
-    sent_all = SendEnvelope(from, kToResponder, session_id, reply) && sent_all;
+    sent_all = SendEnvelope(from, kEnvelopeToResponder, session_id, reply) && sent_all;
   }
   const recon::SessionState state = it->second.session->state();
   if (!s.ok() || state != recon::SessionState::kRunning) {

@@ -36,6 +36,26 @@
 
 namespace vegvisir::node {
 
+// Gossip envelope framing (see the header comment): a 9-byte header
+// (u8 direction + u64 session id) followed by the reconciliation
+// message payload.
+inline constexpr std::uint8_t kEnvelopeToResponder = 0;
+inline constexpr std::uint8_t kEnvelopeToInitiator = 1;
+inline constexpr std::size_t kEnvelopeHeaderBytes = 9;
+
+struct GossipEnvelope {
+  std::uint8_t direction = kEnvelopeToResponder;
+  std::uint64_t session_id = 0;
+  // View into the input buffer (valid only while it lives).
+  ByteSpan payload;
+};
+
+// Parses the envelope framing with full bounds checking; the payload
+// is NOT decoded (that is the receiving session's job). The only
+// decode path a gossip message travels before a session sees it, and
+// the unit the envelope fuzz harness drives directly.
+Status ParseEnvelope(ByteSpan envelope, GossipEnvelope* out);
+
 struct GossipConfig {
   sim::TimeMs period_ms = 1'000;
   sim::TimeMs jitter_ms = 250;

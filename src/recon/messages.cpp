@@ -153,4 +153,26 @@ Status DecodeMessage(ByteSpan data, PushBlocks* out) {
   return r.ExpectEnd();
 }
 
+const char* DecodeRejectName(const Status& status) {
+  // The strings matched here are the exact messages this file and
+  // serial/codec.cpp produce; tests/recon_reject_test.cpp pins each
+  // mapping.
+  const std::string& m = status.message();
+  if (m == "empty message") return "empty";
+  if (m == "unknown message type") return "unknown_type";
+  // Covers "unexpected message type" (ExpectType) and the sessions'
+  // "unexpected message for initiator/responder" routing verdicts.
+  if (m.rfind("unexpected message", 0) == 0) return "unexpected_type";
+  if (m.find("count exceeds input") != std::string::npos) {
+    return "count_overflow";
+  }
+  if (m == "truncated input") return "truncated";
+  if (m == "trailing bytes after value") return "trailing";
+  if (m == "non-minimal varint" || m == "varint too long" ||
+      m == "varint overflows 64 bits" || m == "non-canonical bool") {
+    return "noncanonical";
+  }
+  return "other";
+}
+
 }  // namespace vegvisir::recon

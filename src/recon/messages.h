@@ -86,4 +86,14 @@ Status DecodeMessage(ByteSpan data, BlockRequest* out);
 Status DecodeMessage(ByteSpan data, BlockResponse* out);
 Status DecodeMessage(ByteSpan data, PushBlocks* out);
 
+// Stable counter suffix classifying a failed decode. Every
+// early-return verdict a DecodeMessage/PeekType call can produce maps
+// to one of: "empty", "unknown_type", "unexpected_type",
+// "count_overflow", "truncated", "trailing", "noncanonical"; anything
+// unrecognized maps to "other". Sessions bump the matching
+// recon.<side>.reject.<suffix> counter (all declared in
+// telemetry/metric_names.h) so malformed-input rejections are
+// observable per cause, not just as a failed session.
+const char* DecodeRejectName(const Status& status);
+
 }  // namespace vegvisir::recon

@@ -21,6 +21,9 @@ SessionMetrics SessionMetrics::Resolve(telemetry::Telemetry* sink,
   SessionMetrics m;
   if (sink == nullptr) return m;  // unbound handles: no-op increments
   telemetry::MetricsRegistry& reg = sink->metrics;
+  // lint: metric-name recon.initiator.* recon.responder.*
+  // (side is "initiator" or "responder"; every expansion is declared
+  // in telemetry/metric_names.h)
   const std::string prefix = std::string("recon.") + side + ".";
   m.sessions_started = reg.GetCounter(prefix + "sessions_started");
   m.sessions_completed = reg.GetCounter(prefix + "sessions_completed");
@@ -33,7 +36,38 @@ SessionMetrics SessionMetrics::Resolve(telemetry::Telemetry* sink,
   m.blocks_pushed = reg.GetCounter(prefix + "blocks_pushed");
   m.final_level = reg.GetHistogram(prefix + "final_level",
                                    telemetry::PowerOfTwoBounds(10));
+  m.reject_empty = reg.GetCounter(prefix + "reject.empty");
+  m.reject_unknown_type = reg.GetCounter(prefix + "reject.unknown_type");
+  m.reject_unexpected_type =
+      reg.GetCounter(prefix + "reject.unexpected_type");
+  m.reject_count_overflow =
+      reg.GetCounter(prefix + "reject.count_overflow");
+  m.reject_truncated = reg.GetCounter(prefix + "reject.truncated");
+  m.reject_trailing = reg.GetCounter(prefix + "reject.trailing");
+  m.reject_noncanonical = reg.GetCounter(prefix + "reject.noncanonical");
+  m.reject_other = reg.GetCounter(prefix + "reject.other");
   return m;
+}
+
+void SessionMetrics::CountDecodeReject(const Status& status) {
+  const std::string_view suffix = DecodeRejectName(status);
+  if (suffix == "empty") {
+    reject_empty.Inc();
+  } else if (suffix == "unknown_type") {
+    reject_unknown_type.Inc();
+  } else if (suffix == "unexpected_type") {
+    reject_unexpected_type.Inc();
+  } else if (suffix == "count_overflow") {
+    reject_count_overflow.Inc();
+  } else if (suffix == "truncated") {
+    reject_truncated.Inc();
+  } else if (suffix == "trailing") {
+    reject_trailing.Inc();
+  } else if (suffix == "noncanonical") {
+    reject_noncanonical.Inc();
+  } else {
+    reject_other.Inc();
+  }
 }
 
 // --------------------------------------------------------- Initiator
@@ -102,6 +136,7 @@ Status InitiatorSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
   metrics_.bytes_received.Inc(data.size());
   const auto type = PeekType(data);
   if (!type.ok()) {
+    metrics_.CountDecodeReject(type.status());
     MarkFailed();
     return type.status();
   }
@@ -115,6 +150,7 @@ Status InitiatorSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
       break;
     default:
       s = InvalidArgumentError("unexpected message for initiator");
+      metrics_.CountDecodeReject(s);
       break;
   }
   if (!s.ok()) MarkFailed();
@@ -191,7 +227,10 @@ bool InitiatorSession::CaughtUp() const {
 Status InitiatorSession::HandleFrontierResponse(ByteSpan data,
                                                 std::vector<Bytes>* out) {
   FrontierResponse resp;
-  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &resp));
+  if (Status s = DecodeMessage(data, &resp); !s.ok()) {
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
   if (resp.genesis != host_->dag().genesis_hash()) {
     return FailedPreconditionError("peer is on a different chain");
   }
@@ -271,7 +310,10 @@ Status InitiatorSession::HandleBlockResponse(ByteSpan data,
     return InvalidArgumentError("unexpected block response");
   }
   BlockResponse resp;
-  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &resp));
+  if (Status s = DecodeMessage(data, &resp); !s.ok()) {
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
   VEGVISIR_RETURN_IF_ERROR(StashBlocks(resp.blocks));
   if (TryMerge() && CaughtUp()) {
     FinishMaybePush(out);
@@ -340,7 +382,10 @@ Status ResponderSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
   stats_.bytes_received += data.size();
   metrics_.bytes_received.Inc(data.size());
   const auto type = PeekType(data);
-  if (!type.ok()) return type.status();
+  if (!type.ok()) {
+    metrics_.CountDecodeReject(type.status());
+    return type.status();
+  }
   switch (*type) {
     case MessageType::kFrontierRequest:
       return HandleFrontierRequest(data, out);
@@ -348,15 +393,21 @@ Status ResponderSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
       return HandleBlockRequest(data, out);
     case MessageType::kPushBlocks:
       return HandlePushBlocks(data);
-    default:
-      return InvalidArgumentError("unexpected message for responder");
+    default: {
+      const Status s = InvalidArgumentError("unexpected message for responder");
+      metrics_.CountDecodeReject(s);
+      return s;
+    }
   }
 }
 
 Status ResponderSession::HandleFrontierRequest(ByteSpan data,
                                                std::vector<Bytes>* out) {
   FrontierRequest req;
-  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &req));
+  if (Status s = DecodeMessage(data, &req); !s.ok()) {
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
   if (req.genesis != host_->dag().genesis_hash()) {
     return FailedPreconditionError("initiator is on a different chain");
   }
@@ -419,7 +470,10 @@ Status ResponderSession::HandleFrontierRequest(ByteSpan data,
 Status ResponderSession::HandleBlockRequest(ByteSpan data,
                                             std::vector<Bytes>* out) {
   BlockRequest req;
-  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &req));
+  if (Status s = DecodeMessage(data, &req); !s.ok()) {
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
   BlockResponse resp;
   for (const chain::BlockHash& h : req.hashes) {
     const chain::Block* block = host_->dag().Find(h);
@@ -433,7 +487,10 @@ Status ResponderSession::HandleBlockRequest(ByteSpan data,
 
 Status ResponderSession::HandlePushBlocks(ByteSpan data) {
   PushBlocks push;
-  VEGVISIR_RETURN_IF_ERROR(DecodeMessage(data, &push));
+  if (Status s = DecodeMessage(data, &push); !s.ok()) {
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
   // Same fixpoint merge as the initiator side, inline.
   std::deque<chain::Block> pending;
   for (const Bytes& raw : push.blocks) {

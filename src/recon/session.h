@@ -103,6 +103,10 @@ struct SessionMetrics {
   static SessionMetrics Resolve(telemetry::Telemetry* sink,
                                 const char* side);
 
+  // Bumps the recon.<side>.reject.<suffix> counter matching a failed
+  // PeekType/DecodeMessage verdict (suffix = DecodeRejectName(s)).
+  void CountDecodeReject(const Status& status);
+
   telemetry::Counter sessions_started;
   telemetry::Counter sessions_completed;
   telemetry::Counter sessions_failed;
@@ -113,6 +117,16 @@ struct SessionMetrics {
   telemetry::Counter blocks_inserted;
   telemetry::Counter blocks_pushed;
   telemetry::Histogram final_level;  // initiator only
+  // Decode-rejection verdicts, one per early-return class in
+  // recon/messages.cpp (see DecodeRejectName).
+  telemetry::Counter reject_empty;
+  telemetry::Counter reject_unknown_type;
+  telemetry::Counter reject_unexpected_type;
+  telemetry::Counter reject_count_overflow;
+  telemetry::Counter reject_truncated;
+  telemetry::Counter reject_trailing;
+  telemetry::Counter reject_noncanonical;
+  telemetry::Counter reject_other;
 };
 
 enum class SessionState { kRunning, kDone, kFailed };

@@ -62,7 +62,7 @@ TEST(TxIdTest, ParseRoundTrip) {
   const std::string tx_id = HashHex(f.genesis.hash()) + ":3";
   BlockHash block;
   std::size_t index;
-  ASSERT_TRUE(ParseTxId(tx_id, &block, &index));
+  ASSERT_TRUE(ParseTxId(tx_id, &block, &index).ok());
   EXPECT_EQ(block, f.genesis.hash());
   EXPECT_EQ(index, 3u);
 }
@@ -70,12 +70,12 @@ TEST(TxIdTest, ParseRoundTrip) {
 TEST(TxIdTest, ParseRejectsMalformed) {
   BlockHash block;
   std::size_t index;
-  EXPECT_FALSE(ParseTxId("", &block, &index));
-  EXPECT_FALSE(ParseTxId("abc:1", &block, &index));            // short hash
-  EXPECT_FALSE(ParseTxId(std::string(64, 'g') + ":1", &block, &index));
-  EXPECT_FALSE(ParseTxId(std::string(64, 'a'), &block, &index));   // no colon
-  EXPECT_FALSE(ParseTxId(std::string(64, 'a') + ":", &block, &index));
-  EXPECT_FALSE(ParseTxId(std::string(64, 'a') + ":x", &block, &index));
+  EXPECT_FALSE(ParseTxId("", &block, &index).ok());
+  EXPECT_FALSE(ParseTxId("abc:1", &block, &index).ok());            // short hash
+  EXPECT_FALSE(ParseTxId(std::string(64, 'g') + ":1", &block, &index).ok());
+  EXPECT_FALSE(ParseTxId(std::string(64, 'a'), &block, &index).ok());   // no colon
+  EXPECT_FALSE(ParseTxId(std::string(64, 'a') + ":", &block, &index).ok());
+  EXPECT_FALSE(ParseTxId(std::string(64, 'a') + ":x", &block, &index).ok());
 }
 
 TEST(TxIdTest, HappensBeforeFollowsCausality) {

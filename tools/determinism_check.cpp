@@ -1,0 +1,172 @@
+// Determinism checker: runs the chaos-storm cluster twice under the
+// same seed and diffs everything observable — per-node DAG frontier
+// digests, per-node state fingerprints and the full aggregated metric
+// snapshot (as its canonical JSON rendering).
+//
+// The simulator's contract is that (seed, config) fully determines a
+// run: one event queue, one Rng tree, no wall clock. Any divergence
+// between the two runs means hidden nondeterminism crept in
+// (unordered-container iteration leaking into behaviour, uninitialised
+// reads, wall-clock use outside src/sim/ — the custom linter bans the
+// latter statically, this tool catches the rest dynamically). CI runs
+// this on every push; it is also a ctest.
+//
+// Usage: determinism_check [--seed S] [--duration-ms D] [--nodes N]
+// Exit 0: byte-identical runs. Exit 1: divergence (diff on stdout).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "crdt/sets.h"
+#include "node/cluster.h"
+#include "sim/faults.h"
+#include "sim/topology.h"
+#include "telemetry/export.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace vegvisir;
+
+struct RunResult {
+  // Hex frontier digest + state fingerprint per node, in node order.
+  std::vector<std::string> frontiers;
+  std::vector<std::string> fingerprints;
+  // Canonical JSON of the aggregated metric snapshot: every counter,
+  // gauge and histogram across all nodes, so even a single stray
+  // event shows up.
+  std::string metrics_json;
+};
+
+std::string HashHex(const chain::BlockHash& h) {
+  return ToHex(ByteSpan(h.data(), h.size()));
+}
+
+// The storm mirrors the chaos acceptance soak
+// (tests/chaos_test.cpp CombinedSoakReconvergesWithExactAccounting):
+// corruption, link flap and two crash-restart windows on a clique,
+// with CRDT writes landing mid-storm.
+RunResult RunOnce(std::uint64_t seed, sim::TimeMs duration_ms, int nodes) {
+  sim::ExplicitTopology topo(nodes);
+  topo.MakeClique();
+  node::ClusterConfig cfg;
+  cfg.node_count = nodes;
+  cfg.seed = seed;
+  cfg.faults = sim::FaultPlan::Corruption(0.05);
+  cfg.faults.Merge(sim::FaultPlan::LinkFlap(5'000, 0.2));
+  if (nodes > 2) cfg.faults.Merge(sim::FaultPlan::CrashRestart(2, 40'000, 80'000));
+  if (nodes > 5) {
+    cfg.faults.Merge(sim::FaultPlan::CrashRestart(5, 100'000, 140'000));
+  }
+  cfg.faults.active_until_ms = 180'000;
+  node::Cluster cluster(cfg, &topo);
+
+  cluster.RunFor(30'000);
+  if (!cluster.node(0)
+           .CreateCrdt("journal", crdt::CrdtType::kGSet,
+                       crdt::ValueType::kStr, csm::AclPolicy::AllowAll())
+           .ok()) {
+    std::fprintf(stderr, "workload setup failed\n");
+    std::exit(2);
+  }
+  cluster.RunFor(30'000);
+  (void)cluster.node(1).AppendOp("journal", "add",
+                                 {crdt::Value::OfStr("mid-storm")});
+  cluster.RunFor(60'000);
+  (void)cluster.node(nodes / 2).AppendOp("journal", "add",
+                                         {crdt::Value::OfStr("late-storm")});
+  const sim::TimeMs elapsed = 120'000;
+  if (duration_ms > elapsed) cluster.RunFor(duration_ms - elapsed);
+
+  RunResult result;
+  for (int i = 0; i < cluster.size(); ++i) {
+    result.frontiers.push_back(
+        HashHex(cluster.node(i).dag().FrontierDigest()));
+    result.fingerprints.push_back(ToHex(cluster.node(i).Fingerprint()));
+  }
+  result.metrics_json = telemetry::ToJson(cluster.AggregateSnapshot());
+  return result;
+}
+
+// Reports every differing field; returns the number of differences.
+int Diff(const RunResult& a, const RunResult& b) {
+  int diffs = 0;
+  for (std::size_t i = 0; i < a.frontiers.size(); ++i) {
+    if (a.frontiers[i] != b.frontiers[i]) {
+      std::printf("DIVERGED node %zu frontier digest:\n  run1 %s\n  run2 %s\n",
+                  i, a.frontiers[i].c_str(), b.frontiers[i].c_str());
+      ++diffs;
+    }
+    if (a.fingerprints[i] != b.fingerprints[i]) {
+      std::printf("DIVERGED node %zu state fingerprint:\n  run1 %s\n  run2 %s\n",
+                  i, a.fingerprints[i].c_str(), b.fingerprints[i].c_str());
+      ++diffs;
+    }
+  }
+  if (a.metrics_json != b.metrics_json) {
+    // Find the first differing byte so the culprit metric is visible
+    // without dumping two full snapshots.
+    std::size_t at = 0;
+    while (at < a.metrics_json.size() && at < b.metrics_json.size() &&
+           a.metrics_json[at] == b.metrics_json[at]) {
+      ++at;
+    }
+    const std::size_t from = at < 40 ? 0 : at - 40;
+    std::printf("DIVERGED metric snapshots at byte %zu:\n  run1 ...%s\n  run2 ...%s\n",
+                at, a.metrics_json.substr(from, 80).c_str(),
+                b.metrics_json.substr(from, 80).c_str());
+    ++diffs;
+  }
+  return diffs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 424'242;
+  sim::TimeMs duration_ms = 240'000;
+  int nodes = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--duration-ms") {
+      duration_ms = static_cast<sim::TimeMs>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--nodes") {
+      nodes = std::atoi(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: determinism_check [--seed S] [--duration-ms D] "
+                   "[--nodes N]\n");
+      return 2;
+    }
+  }
+  if (nodes < 2 || duration_ms < 130'000) {
+    std::fprintf(stderr, "need --nodes >= 2 and --duration-ms >= 130000\n");
+    return 2;
+  }
+
+  const RunResult run1 = RunOnce(seed, duration_ms, nodes);
+  const RunResult run2 = RunOnce(seed, duration_ms, nodes);
+  const int diffs = Diff(run1, run2);
+  if (diffs == 0) {
+    std::printf(
+        "deterministic: %d nodes, seed %llu, %llu ms — frontiers, "
+        "fingerprints and %zu-byte metric snapshot identical across runs\n",
+        nodes, static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(duration_ms),
+        run1.metrics_json.size());
+    return 0;
+  }
+  std::printf("%d divergence(s) between same-seed runs\n", diffs);
+  return 1;
+}

@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Custom invariant linter for the Vegvisir codebase.
+
+Three repo-specific invariants that clang-tidy cannot express:
+
+  1. no-wall-clock: determinism depends on every timestamp and random
+     draw flowing from the seeded simulator. Wall-clock and ambient-
+     entropy APIs (std::chrono::system_clock, time(), rand(),
+     std::random_device, ...) are banned everywhere under src/ except
+     src/sim/ (the only layer allowed to own a clock, simulated or
+     otherwise).
+
+  2. metric-names: every metric name passed to
+     GetCounter/GetGauge/GetHistogram/CounterValue (and every trace
+     name passed to RecordSpan/RecordInstant) as a string literal must
+     be declared in the single registry table
+     src/telemetry/metric_names.h. Call sites that build names
+     dynamically must carry a `// lint: metric-name <pattern>...`
+     annotation on one of the three preceding lines naming the
+     patterns they can produce (each pattern must itself resolve
+     against the table, `*` matching a suffix).
+
+  3. checked-decode: every function named Decode*/Parse*/Deserialize*
+     must return Status or StatusOr (decoding hostile bytes must not
+     be able to fail silently), and no call to one may discard the
+     result: a bare `Foo::Decode(...);` statement is an error. Consume
+     it (assign, return, wrap in VEGVISIR_RETURN_IF_ERROR/if/EXPECT)
+     or cast to void explicitly.
+
+Allowlist: suppressions live HERE, in the tables below, one entry per
+line with a justification — never inline in the source (the lint CI
+job greps for NOLINT to enforce that). `// lint: metric-name` and
+`// lint: allow-wall-clock` annotations are declarations the linter
+verifies, not suppressions.
+
+Usage: tools/lint/vegvisir_lint.py [repo-root]
+Exit 0 when clean; 1 with one `file:line: rule: message` per finding.
+"""
+
+import pathlib
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Documented allowlist (the only sanctioned suppressions).
+# ---------------------------------------------------------------------------
+
+# checked-decode, rule 3a: functions that merely look like decoders.
+NOT_A_DECODER = {
+    # Maps a failed decode Status to a reject-counter suffix; it
+    # classifies errors, it does not parse bytes.
+    "DecodeRejectName",
+}
+
+# metric-names: files implementing the registry machinery itself,
+# where the `name` parameter is by definition not a literal.
+METRIC_MACHINERY = {
+    "src/telemetry/metrics.h",
+    "src/telemetry/metrics.cpp",
+    "src/telemetry/trace.h",
+    "src/telemetry/trace.cpp",
+}
+
+# no-wall-clock: directory allowed to own time (trailing slash).
+CLOCK_OWNER = "src/sim/"
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(p), what)
+    for p, what in [
+        (r"\bsystem_clock\b", "std::chrono::system_clock"),
+        (r"\bsteady_clock\b", "std::chrono::steady_clock"),
+        (r"\bhigh_resolution_clock\b", "std::chrono::high_resolution_clock"),
+        (r"\brandom_device\b", "std::random_device"),
+        (r"\bmt19937(_64)?\b", "std::mt19937"),
+        (r"\bdefault_random_engine\b", "std::default_random_engine"),
+        (r"\bminstd_rand0?\b", "std::minstd_rand"),
+        (r"\bsrand\s*\(", "srand()"),
+        (r"(?<![\w.])rand\s*\(\s*\)", "rand()"),
+        (r"(?<![\w.])time\s*\(\s*(NULL|nullptr|0|\&|\))", "time()"),
+        (r"\bstd::time\s*\(", "std::time()"),
+        (r"(?<![\w.])clock\s*\(\s*\)", "clock()"),
+        (r"\bgettimeofday\b", "gettimeofday()"),
+        (r"\bclock_gettime\b", "clock_gettime()"),
+        (r"\blocaltime(_r)?\b", "localtime()"),
+        (r"\bgmtime(_r)?\b", "gmtime()"),
+    ]
+]
+
+METRIC_METHODS = {
+    "GetCounter": "counter",
+    "CounterValue": "counter",
+    "GetGauge": "gauge",
+    "GetHistogram": "histogram",
+    "RecordSpan": "trace",
+    "RecordInstant": "trace",
+}
+
+DECODER_NAME = re.compile(r"\b(Decode|Parse|Deserialize)\w*\s*\(")
+STATUS_RETURN = re.compile(r"\b(Status|StatusOr)\b")
+
+
+def strip_code(text):
+    """Blanks comments and string/char literals, preserving newlines
+    and length so match offsets map back to real positions."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            # Keep the quotes so literal args remain recognisable.
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def parse_metric_tables(root):
+    """Reads the declared-name tables out of metric_names.h."""
+    text = (root / "src/telemetry/metric_names.h").read_text()
+    tables = {}
+    for array, kind in [
+        ("kCounters", "counter"),
+        ("kGauges", "gauge"),
+        ("kHistograms", "histogram"),
+        ("kTraceNames", "trace"),
+    ]:
+        m = re.search(array + r"\[\]\s*=\s*\{(.*?)\};", text, re.S)
+        if not m:
+            sys.exit(f"metric_names.h: table {array} not found")
+        tables[kind] = set(re.findall(r'"([^"]+)"', m.group(1)))
+    return tables
+
+
+def declared(tables, kind, name):
+    return name in tables[kind]
+
+
+def pattern_resolves(tables, kind, pattern):
+    """A `lint: metric-name` pattern: exact name or `prefix.*`."""
+    if pattern.endswith(".*"):
+        prefix = pattern[:-1]  # keep the dot
+        return any(n.startswith(prefix) for n in tables[kind])
+    return declared(tables, kind, pattern)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def check_wall_clock(rel, stripped, findings):
+    if rel.startswith(CLOCK_OWNER):
+        return
+    lines = stripped.splitlines()
+    raw_lines = None
+    for regex, what in WALL_CLOCK_PATTERNS:
+        for m in regex.finditer(stripped):
+            line = line_of(stripped, m.start())
+            if raw_lines is None:
+                raw_lines = lines
+            findings.append(
+                (rel, line, "no-wall-clock",
+                 f"{what} is banned outside {CLOCK_OWNER}; draw time from "
+                 "the Simulator and randomness from util/rng.h")
+            )
+
+
+def check_metric_names(rel, text, stripped, tables, findings):
+    if rel in METRIC_MACHINERY:
+        return
+    raw_lines = text.splitlines()
+    for m in re.finditer(r"\b(" + "|".join(METRIC_METHODS) + r")\s*\(",
+                         stripped):
+        method = m.group(1)
+        kind = METRIC_METHODS[method]
+        line = line_of(stripped, m.start())
+        arg = stripped[m.end():m.end() + 200].lstrip()
+        if arg.startswith('"'):
+            # Literal name: read it from the unstripped text.
+            lit = re.match(r'\s*"((?:[^"\\]|\\.)*)"',
+                           text[m.end():m.end() + 200].lstrip("\n"))
+            lit = lit or re.search(r'"((?:[^"\\]|\\.)*)"',
+                                   text[m.end():m.end() + 200])
+            name = lit.group(1) if lit else ""
+            if not declared(tables, kind, name):
+                findings.append(
+                    (rel, line, "metric-names",
+                     f'{method}("{name}") is not declared in '
+                     "src/telemetry/metric_names.h")
+                )
+        elif re.match(r"^(const\s|std::string|\s*\))", arg):
+            continue  # parameter declaration, not a call
+        else:
+            # Dynamic name: require an annotation in the same paragraph
+            # (scanning upward until a blank line) above the call.
+            ann = None
+            i = line - 2  # 0-based index of the line above the call
+            while i >= 0 and raw_lines[i].strip():
+                am = re.search(r"//\s*lint:\s*metric-name\s+(.*)$",
+                               raw_lines[i])
+                if am:
+                    ann = am.group(1).split()
+                    break
+                i -= 1
+            if ann is None:
+                findings.append(
+                    (rel, line, "metric-names",
+                     f"dynamic name passed to {method} without a "
+                     "`// lint: metric-name <pattern>...` annotation")
+                )
+                continue
+            for pattern in ann:
+                if not pattern_resolves(tables, kind, pattern):
+                    findings.append(
+                        (rel, line, "metric-names",
+                         f"annotation pattern '{pattern}' matches nothing "
+                         "in src/telemetry/metric_names.h")
+                    )
+
+
+def check_decode_status(rel, stripped, findings):
+    for m in DECODER_NAME.finditer(stripped):
+        name = stripped[m.start():stripped.index("(", m.start())].strip()
+        if name in NOT_A_DECODER:
+            continue
+        line = line_of(stripped, m.start())
+        # The segment from the previous statement boundary to the call.
+        seg_start = max(
+            stripped.rfind(c, 0, m.start()) for c in ";{}")
+        seg = stripped[seg_start + 1:m.start()]
+        # Consumed: assigned, returned, nested in an expression, or
+        # wrapped in a macro/condition (all introduce one of these).
+        if re.search(r"[=(!]|\breturn\b|\bco_return\b", seg):
+            continue
+        prefix = seg.strip()
+        # A qualifier chain right before the name belongs to the callee
+        # (`Transaction::Decode(...)` call) unless a return type
+        # precedes it (`Status Transaction::Decode(...)` definition).
+        head = re.sub(r"[\w~]+(::[\w~]+)*(::)?$", "", prefix).strip()
+        if prefix == "" or prefix.endswith((".", "->")) or (
+                prefix.endswith("::") and head == ""):
+            findings.append(
+                (rel, line, "checked-decode",
+                 f"result of {name}() is discarded; decode/parse results "
+                 "must be consumed (assign, return, wrap, or (void)-cast)")
+            )
+            continue
+        # Otherwise this is a declaration or definition: its return
+        # type (in `prefix`) must be Status/StatusOr.
+        if not STATUS_RETURN.search(prefix):
+            findings.append(
+                (rel, line, "checked-decode",
+                 f"{name}() must return Status or StatusOr "
+                 "(add it to the allowlist in vegvisir_lint.py if it is "
+                 "not a byte decoder)")
+            )
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    if not (root / "src/telemetry/metric_names.h").exists():
+        sys.exit(f"{root} does not look like the repo root")
+    tables = parse_metric_tables(root)
+    findings = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".h", ".cpp"):
+            continue
+        rel = str(path.relative_to(root))
+        text = path.read_text()
+        stripped = strip_code(text)
+        check_wall_clock(rel, stripped, findings)
+        check_metric_names(rel, text, stripped, tables, findings)
+        check_decode_status(rel, stripped, findings)
+    for rel, line, rule, message in sorted(findings):
+        print(f"{rel}:{line}: {rule}: {message}")
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"vegvisir_lint: src/ clean "
+          f"({sum(len(v) for v in tables.values())} declared metric names)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
