@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "crypto/sha256.h"
+#include "serial/limits.h"
 
 namespace vegvisir::chain {
 namespace {
@@ -43,12 +44,9 @@ Status BlockHeader::Decode(serial::Reader* r, BlockHeader* out) {
   }
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  // Divide instead of multiplying: a hostile count near 2^64 would
-  // wrap `count * sizeof(hash)` past the check and drive the
-  // reserve() below into an allocation bomb.
-  if (count > r->remaining() / sizeof(BlockHash)) {
-    return InvalidArgumentError("parent count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxBlockParents, r->remaining(),
+      sizeof(BlockHash), "parent"));
   out->parents.clear();
   out->parents.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -104,9 +102,9 @@ StatusOr<Block> Block::Deserialize(ByteSpan data) {
   VEGVISIR_RETURN_IF_ERROR(BlockHeader::Decode(&r, &b.header_));
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&count));
-  if (count > r.remaining()) {
-    return InvalidArgumentError("transaction count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxBlockTransactions, r.remaining(), 1,
+      "transaction"));
   b.txns_.clear();
   b.txns_.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {

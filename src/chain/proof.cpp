@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "serial/codec.h"
+#include "serial/limits.h"
 
 namespace vegvisir::chain {
 
@@ -33,15 +34,14 @@ StatusOr<WitnessProof> WitnessProof::Deserialize(ByteSpan data) {
   VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&proof.target));
   std::uint64_t path_count;
   VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&path_count));
-  if (path_count > r.remaining()) {
-    return InvalidArgumentError("path count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      path_count, serial::limits::kMaxProofPaths, r.remaining(), 1, "path"));
   for (std::uint64_t i = 0; i < path_count; ++i) {
     std::uint64_t block_count;
     VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&block_count));
-    if (block_count > r.remaining()) {
-      return InvalidArgumentError("block count exceeds input");
-    }
+    VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+        block_count, serial::limits::kMaxProofPathBlocks, r.remaining(), 1,
+        "block"));
     std::vector<Bytes> path;
     for (std::uint64_t b = 0; b < block_count; ++b) {
       Bytes raw;
@@ -52,9 +52,8 @@ StatusOr<WitnessProof> WitnessProof::Deserialize(ByteSpan data) {
   }
   std::uint64_t cert_count;
   VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&cert_count));
-  if (cert_count > r.remaining()) {
-    return InvalidArgumentError("cert count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      cert_count, serial::limits::kMaxProofCerts, r.remaining(), 1, "cert"));
   for (std::uint64_t i = 0; i < cert_count; ++i) {
     Certificate cert;
     VEGVISIR_RETURN_IF_ERROR(Certificate::Decode(&r, &cert));

@@ -6,6 +6,7 @@
 
 #include "crypto/sha256.h"
 #include "serial/codec.h"
+#include "serial/limits.h"
 
 namespace vegvisir::chain {
 namespace {
@@ -81,9 +82,8 @@ StatusOr<Dag> DeserializeDag(ByteSpan data) {
 
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&count));
-  if (count > r.remaining()) {
-    return InvalidArgumentError("block count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxStoreBlocks, r.remaining(), 1, "block"));
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint8_t tag;
     VEGVISIR_RETURN_IF_ERROR(r.ReadU8(&tag));
@@ -98,10 +98,9 @@ StatusOr<Dag> DeserializeDag(ByteSpan data) {
       VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&h));
       std::uint64_t parent_count;
       VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&parent_count));
-      // Divide, don't multiply: a hostile count must not wrap the check.
-      if (parent_count > r.remaining() / sizeof(BlockHash)) {
-        return InvalidArgumentError("parent count exceeds input");
-      }
+      VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+          parent_count, serial::limits::kMaxBlockParents, r.remaining(),
+          sizeof(BlockHash), "parent"));
       std::vector<BlockHash> parents;
       parents.reserve(parent_count);
       for (std::uint64_t p = 0; p < parent_count; ++p) {
@@ -115,6 +114,9 @@ StatusOr<Dag> DeserializeDag(ByteSpan data) {
       VEGVISIR_RETURN_IF_ERROR(r.ReadU64(&timestamp));
       std::uint64_t encoded_size;
       VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&encoded_size));
+      if (encoded_size > serial::limits::kMaxStubEncodedBytes) {
+        return InvalidArgumentError("stub encoded size exceeds limit");
+      }
       VEGVISIR_RETURN_IF_ERROR(dag.InsertEvictedStub(
           h, std::move(parents), std::move(creator), timestamp,
           static_cast<std::size_t>(encoded_size)));

@@ -1,5 +1,7 @@
 #include "chain/transaction.h"
 
+#include "serial/limits.h"
+
 namespace vegvisir::chain {
 
 void Transaction::Encode(serial::Writer* w) const {
@@ -14,10 +16,9 @@ Status Transaction::Decode(serial::Reader* r, Transaction* out) {
   VEGVISIR_RETURN_IF_ERROR(r->ReadString(&out->op));
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    // Each value takes at least one byte; a larger count is malformed.
-    return InvalidArgumentError("transaction argument count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxTransactionArgs, r->remaining(), 1,
+      "transaction argument"));
   out->args.clear();
   out->args.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {

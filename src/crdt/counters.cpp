@@ -1,5 +1,7 @@
 #include "crdt/counters.h"
 
+#include "serial/limits.h"
+
 namespace vegvisir::crdt {
 namespace {
 
@@ -99,9 +101,9 @@ Status GCounter::DecodeState(serial::Reader* r) {
   VEGVISIR_RETURN_IF_ERROR(r->ReadI64(&total_));
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("per-user count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxCrdtElements, r->remaining(), 1,
+      "per-user"));
   per_user_.clear();
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string user;

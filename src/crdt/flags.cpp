@@ -1,5 +1,7 @@
 #include "crdt/flags.h"
 
+#include "serial/limits.h"
+
 namespace vegvisir::crdt {
 
 Status EwFlag::CheckOp(const std::string& op, Args args) const {
@@ -59,9 +61,9 @@ Status EwFlag::DecodeState(serial::Reader* r) {
   const auto read_set = [&](std::set<std::string>* out) -> Status {
     std::uint64_t count;
     VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-    if (count > r->remaining()) {
-      return InvalidArgumentError("token count exceeds input");
-    }
+    VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+        count, serial::limits::kMaxCrdtElements, r->remaining(), 1,
+        "token"));
     out->clear();
     for (std::uint64_t i = 0; i < count; ++i) {
       std::string t;

@@ -1,5 +1,7 @@
 #include "crdt/map.h"
 
+#include "serial/limits.h"
+
 namespace vegvisir::crdt {
 
 Status LwwMap::CheckOp(const std::string& op, Args args) const {
@@ -85,9 +87,8 @@ void LwwMap::EncodeState(serial::Writer* w) const {
 Status LwwMap::DecodeState(serial::Reader* r) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("cell count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxCrdtElements, r->remaining(), 1, "cell"));
   cells_.clear();
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string key;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serial/limits.h"
+
 namespace vegvisir::crdt {
 
 // ------------------------------------------------------------ LwwRegister
@@ -136,9 +138,8 @@ void MvRegister::EncodeState(serial::Writer* w) const {
 Status MvRegister::DecodeState(serial::Reader* r) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("write count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxCrdtElements, r->remaining(), 1, "write"));
   writes_.clear();
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string tx_id;
@@ -148,9 +149,9 @@ Status MvRegister::DecodeState(serial::Reader* r) {
     writes_.emplace(std::move(tx_id), std::move(v));
   }
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("supersession count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxCrdtElements, r->remaining(), 1,
+      "supersession"));
   superseded_.clear();
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string tx_id;

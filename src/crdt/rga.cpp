@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serial/limits.h"
+
 namespace vegvisir::crdt {
 
 bool Rga::SiblingOrder::operator()(const std::string& a,
@@ -136,9 +138,9 @@ void Rga::EncodeState(serial::Writer* w) const {
 Status Rga::DecodeState(serial::Reader* r) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("element count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxCrdtElements, r->remaining(), 1,
+      "element"));
   elements_.clear();
   children_.clear();
   pending_children_.clear();
@@ -163,9 +165,9 @@ Status Rga::DecodeState(serial::Reader* r) {
   }
   std::uint64_t tomb_count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&tomb_count));
-  if (tomb_count > r->remaining()) {
-    return InvalidArgumentError("tombstone count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      tomb_count, serial::limits::kMaxCrdtElements, r->remaining(), 1,
+      "tombstone"));
   for (std::uint64_t i = 0; i < tomb_count; ++i) {
     std::string t;
     VEGVISIR_RETURN_IF_ERROR(r->ReadString(&t));

@@ -1,5 +1,7 @@
 #include "crdt/sets.h"
 
+#include "serial/limits.h"
+
 namespace vegvisir::crdt {
 namespace {
 
@@ -156,9 +158,9 @@ namespace {
 Status DecodeValueSet(serial::Reader* r, std::set<Value>* out) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("value set count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxCrdtElements, r->remaining(), 1,
+      "value set"));
   out->clear();
   for (std::uint64_t i = 0; i < count; ++i) {
     Value v;
@@ -182,18 +184,18 @@ Status DecodeTagMap(serial::Reader* r,
                     std::map<Value, std::set<std::string>>* out) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("tag map count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxCrdtElements, r->remaining(), 1,
+      "tag map"));
   out->clear();
   for (std::uint64_t i = 0; i < count; ++i) {
     Value v;
     VEGVISIR_RETURN_IF_ERROR(Value::Decode(r, &v));
     std::uint64_t tag_count;
     VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&tag_count));
-    if (tag_count > r->remaining()) {
-      return InvalidArgumentError("tag count exceeds input");
-    }
+    VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+        tag_count, serial::limits::kMaxCrdtElements, r->remaining(), 1,
+        "tag"));
     std::set<std::string> tags;
     for (std::uint64_t t = 0; t < tag_count; ++t) {
       std::string tag;

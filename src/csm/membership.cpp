@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "serial/codec.h"
+#include "serial/limits.h"
 
 namespace vegvisir::csm {
 
@@ -124,9 +125,8 @@ Status Membership::DecodeState(serial::Reader* r) {
   }
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("member count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxMembers, r->remaining(), 1, "member"));
   by_user_.clear();
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string user;
@@ -136,10 +136,9 @@ Status Membership::DecodeState(serial::Reader* r) {
     VEGVISIR_RETURN_IF_ERROR(r->ReadBool(&rec.revoked));
     std::uint64_t rev_count;
     VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&rev_count));
-    // Divide, don't multiply: a hostile count must not wrap the check.
-    if (rev_count > r->remaining() / sizeof(chain::BlockHash)) {
-      return InvalidArgumentError("revocation count exceeds input");
-    }
+    VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+        rev_count, serial::limits::kMaxRevocationBlocks, r->remaining(),
+        sizeof(chain::BlockHash), "revocation"));
     for (std::uint64_t j = 0; j < rev_count; ++j) {
       chain::BlockHash h;
       VEGVISIR_RETURN_IF_ERROR(r->ReadFixed(&h));

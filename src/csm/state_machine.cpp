@@ -5,6 +5,7 @@
 #include "chain/genesis.h"
 #include "crypto/sha256.h"
 #include "serial/codec.h"
+#include "serial/limits.h"
 
 namespace vegvisir::csm {
 namespace {
@@ -381,9 +382,8 @@ Status StateMachine::LoadSnapshot(ByteSpan data) {
 
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&count));
-  if (count > r.remaining()) {
-    return InvalidArgumentError("instance count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxCsmInstances, r.remaining(), 1, "instance"));
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string name;
     VEGVISIR_RETURN_IF_ERROR(r.ReadString(&name));
@@ -409,17 +409,16 @@ Status StateMachine::LoadSnapshot(ByteSpan data) {
   }
 
   VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&count));
-  if (count > r.remaining()) {
-    return InvalidArgumentError("op-log count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxOpLogCrdts, r.remaining(), 1, "op-log"));
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string name;
     VEGVISIR_RETURN_IF_ERROR(r.ReadString(&name));
     std::uint64_t record_count;
     VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&record_count));
-    if (record_count > r.remaining()) {
-      return InvalidArgumentError("record count exceeds input");
-    }
+    VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+        record_count, serial::limits::kMaxOpRecords, r.remaining(), 1,
+        "record"));
     std::vector<OpRecord> records;
     records.reserve(record_count);
     for (std::uint64_t j = 0; j < record_count; ++j) {
@@ -427,9 +426,8 @@ Status StateMachine::LoadSnapshot(ByteSpan data) {
       VEGVISIR_RETURN_IF_ERROR(r.ReadString(&rec.op));
       std::uint64_t arg_count;
       VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&arg_count));
-      if (arg_count > r.remaining()) {
-        return InvalidArgumentError("arg count exceeds input");
-      }
+      VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+          arg_count, serial::limits::kMaxOpArgs, r.remaining(), 1, "arg"));
       for (std::uint64_t a = 0; a < arg_count; ++a) {
         crdt::Value v;
         VEGVISIR_RETURN_IF_ERROR(crdt::Value::Decode(&r, &v));
@@ -444,10 +442,9 @@ Status StateMachine::LoadSnapshot(ByteSpan data) {
   }
 
   VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&count));
-  // Divide, don't multiply: a hostile count must not wrap the check.
-  if (count > r.remaining() / sizeof(chain::BlockHash)) {
-    return InvalidArgumentError("applied-block count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxAppliedBlocks, r.remaining(),
+      sizeof(chain::BlockHash), "applied-block"));
   for (std::uint64_t i = 0; i < count; ++i) {
     chain::BlockHash h;
     VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&h));

@@ -1,5 +1,7 @@
 #include "recon/messages.h"
 
+#include "serial/limits.h"
+
 namespace vegvisir::recon {
 namespace {
 
@@ -11,12 +13,9 @@ void WriteHashes(serial::Writer* w, const std::vector<chain::BlockHash>& hs) {
 Status ReadHashes(serial::Reader* r, std::vector<chain::BlockHash>* out) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  // Divide instead of multiplying: a hostile/corrupted count near
-  // 2^64 would wrap `count * sizeof(hash)` past the check and drive
-  // the reserve() below into an allocation bomb.
-  if (count > r->remaining() / sizeof(chain::BlockHash)) {
-    return InvalidArgumentError("hash count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxFrontierHashes, r->remaining(),
+      sizeof(chain::BlockHash), "hash"));
   out->clear();
   out->reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -35,9 +34,8 @@ void WriteBlockList(serial::Writer* w, const std::vector<Bytes>& blocks) {
 Status ReadBlockList(serial::Reader* r, std::vector<Bytes>* out) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
-  if (count > r->remaining()) {
-    return InvalidArgumentError("block count exceeds input");
-  }
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxWireBlocks, r->remaining(), 1, "block"));
   out->clear();
   out->reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -163,7 +161,8 @@ const char* DecodeRejectName(const Status& status) {
   // Covers "unexpected message type" (ExpectType) and the sessions'
   // "unexpected message for initiator/responder" routing verdicts.
   if (m.rfind("unexpected message", 0) == 0) return "unexpected_type";
-  if (m.find("count exceeds input") != std::string::npos) {
+  if (m.find("count exceeds input") != std::string::npos ||
+      m.find("count exceeds limit") != std::string::npos) {
     return "count_overflow";
   }
   if (m == "truncated input") return "truncated";

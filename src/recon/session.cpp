@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "serial/limits.h"
 #include "util/bloom.h"
 
 namespace vegvisir::recon {
@@ -450,8 +451,11 @@ Status ResponderSession::HandleFrontierRequest(ByteSpan data,
 
   // A corrupted (or hostile) level must not wrap negative through the
   // int cast below, nor walk arbitrarily deep per round: clamp to the
-  // same escalation ceiling the initiator honours.
-  const std::uint32_t level = std::min(req.level, config_.max_level);
+  // escalation ceiling the initiator honours AND the protocol-wide
+  // cap (the configured ceiling can never legitimately exceed it).
+  const std::uint32_t level = std::min(
+      {req.level, config_.max_level,
+       static_cast<std::uint32_t>(serial::limits::kMaxFrontierLevel)});
   resp.hashes = host_->dag().FrontierLevel(static_cast<int>(level));
   if (!req.hashes_only) {
     for (const chain::BlockHash& h : resp.hashes) {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+// Header-only constants; util still links against nothing above it
+// (the decode bounds live with every other wire limit).
+#include "serial/limits.h"
+
 namespace vegvisir {
 namespace {
 
@@ -89,10 +93,10 @@ StatusOr<BloomFilter> BloomFilter::Deserialize(ByteSpan data) {
   if (!GetVarint(data, &pos, &bit_count) || !GetVarint(data, &pos, &hashes)) {
     return InvalidArgumentError("truncated bloom header");
   }
-  if (hashes == 0 || hashes > 64) {
+  if (hashes == 0 || hashes > serial::limits::kMaxBloomHashes) {
     return InvalidArgumentError("implausible bloom hash count");
   }
-  if (bit_count > (1u << 26) || bit_count % 8 != 0) {
+  if (bit_count > serial::limits::kMaxBloomBits || bit_count % 8 != 0) {
     return InvalidArgumentError("bad bloom bit count");
   }
   if (data.size() - pos != bit_count / 8) {

@@ -223,6 +223,10 @@ TEST(ReconRejectTest, DecodeRejectNamePinsEveryVerdict) {
   EXPECT_STREQ(name("hash count exceeds input"), "count_overflow");
   EXPECT_STREQ(name("block count exceeds input"), "count_overflow");
   EXPECT_STREQ(name("parent count exceeds input"), "count_overflow");
+  // The absolute-cap branch of serial::CheckWireCount (a plausible
+  // count backed by real padding; see tests/limits_test.cpp).
+  EXPECT_STREQ(name("hash count exceeds limit"), "count_overflow");
+  EXPECT_STREQ(name("block count exceeds limit"), "count_overflow");
   EXPECT_STREQ(name("truncated input"), "truncated");
   EXPECT_STREQ(name("trailing bytes after value"), "trailing");
   EXPECT_STREQ(name("non-minimal varint"), "noncanonical");

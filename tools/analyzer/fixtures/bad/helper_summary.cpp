@@ -1,0 +1,25 @@
+// taint-expect: source=ReadVarint sink=helper-sink:AllocateRows
+// The sink hides one call deep: AllocateRows() reserves its
+// parameter unchecked, so passing it a raw wire count is a finding
+// in the caller (function-summary propagation).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadVarint(std::uint64_t* out);
+};
+
+void AllocateRows(std::vector<int>* out, std::uint64_t rows) {
+  out->reserve(rows);
+}
+
+bool DecodeMatrix(Reader* r, std::vector<int>* out) {
+  std::uint64_t rows = 0;
+  if (!r->ReadVarint(&rows)) return false;
+  AllocateRows(out, rows);
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// taint-expect: source=ReadVarint sink=loop-bound
+// An unchecked wire count drives a loop trip count: each iteration
+// push_backs, so the bomb costs CPU and memory with no input bytes.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadVarint(std::uint64_t* out);
+  bool ReadU32(std::uint32_t* out);
+};
+
+bool DecodeEntries(Reader* r, std::vector<std::uint32_t>* out) {
+  std::uint64_t count = 0;
+  if (!r->ReadVarint(&count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t v = 0;
+    if (!r->ReadU32(&v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// taint-expect: source=ReadVarint sink=reserve
+// std::min against another *wire-derived* value is not a sanitizer:
+// the attacker controls both sides. Only a limits::kMax* ceiling
+// (or CheckWireCount) clears taint.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadVarint(std::uint64_t* out);
+};
+
+bool DecodePair(Reader* r, std::vector<int>* out) {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  if (!r->ReadVarint(&a)) return false;
+  if (!r->ReadVarint(&b)) return false;
+  const std::uint64_t n = std::min(a, b);
+  out->reserve(n);
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// taint-expect: source=ReadVarint sink=overflow-arith
+// `count * 32` wraps for count >= 2^59, so the later comparison
+// against remaining() passes and the resize is huge. The multiply
+// itself is the bug; the fix is a divide-style check.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadVarint(std::uint64_t* out);
+  std::size_t remaining() const;
+};
+
+bool DecodeHashes(Reader* r, std::vector<std::uint8_t>* out) {
+  std::uint64_t count = 0;
+  if (!r->ReadVarint(&count)) return false;
+  const std::uint64_t bytes = count * 32;
+  if (bytes > r->remaining()) return false;
+  out->resize(bytes);
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// taint-expect: source=ReadU64 sink=new-array
+// Raw new[] sized by a wire integer — no container to save you, the
+// allocation happens before any element is touched.
+#include <cstdint>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadU64(std::uint64_t* out);
+};
+
+bool DecodeBuffer(Reader* r, std::uint8_t** out) {
+  std::uint64_t len = 0;
+  if (!r->ReadU64(&len)) return false;
+  *out = new std::uint8_t[len];
+  return true;
+}
+
+}  // namespace fixture

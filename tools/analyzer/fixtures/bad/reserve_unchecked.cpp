@@ -1,0 +1,20 @@
+// taint-expect: source=ReadVarint sink=reserve
+// A wire count flows straight into vector::reserve — the classic
+// allocation bomb: 8 bytes of varint reserve 2^63 elements.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadVarint(std::uint64_t* out);
+};
+
+bool DecodeList(Reader* r, std::vector<int>* out) {
+  std::uint64_t count = 0;
+  if (!r->ReadVarint(&count)) return false;
+  out->reserve(count);
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// taint-expect: source=ReadU32 sink=resize
+// The count lands in a struct field first; the field is just as
+// attacker-controlled as a local when it sizes an allocation.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadU32(std::uint32_t* out);
+};
+
+struct Header {
+  std::uint32_t entry_count = 0;
+};
+
+bool DecodeTable(Reader* r, Header* h, std::vector<int>* out) {
+  if (!r->ReadU32(&h->entry_count)) return false;
+  out->resize(h->entry_count);
+  return true;
+}
+
+}  // namespace fixture

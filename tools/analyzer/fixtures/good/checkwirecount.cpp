@@ -1,0 +1,47 @@
+// taint-expect: clean
+// The canonical idiom: CheckWireCount validates the count against a
+// protocol cap AND the remaining input before any allocation.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Status {
+  bool ok() const;
+  static Status Ok();
+};
+
+namespace serial {
+namespace limits {
+inline constexpr std::uint64_t kMaxFixtureItems = 1u << 10;
+}
+Status CheckWireCount(std::uint64_t count, std::uint64_t limit,
+                      std::size_t remaining, std::size_t min_elem_bytes,
+                      const char* what);
+}  // namespace serial
+
+struct Reader {
+  bool ReadVarint(std::uint64_t* out);
+  bool ReadU32(std::uint32_t* out);
+  std::size_t remaining() const;
+};
+
+bool DecodeItems(Reader* r, std::vector<std::uint32_t>* out) {
+  std::uint64_t count = 0;
+  if (!r->ReadVarint(&count)) return false;
+  if (!serial::CheckWireCount(count, serial::limits::kMaxFixtureItems,
+                              r->remaining(), 4, "item")
+           .ok()) {
+    return false;
+  }
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t v = 0;
+    if (!r->ReadU32(&v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// taint-expect: clean
+// An explicit early-return comparison against a limits::kMax*
+// constant sanitizes the count for everything after it.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+namespace serial {
+namespace limits {
+inline constexpr std::uint64_t kMaxFixtureRows = 1u << 12;
+}
+}  // namespace serial
+
+struct Reader {
+  bool ReadVarint(std::uint64_t* out);
+};
+
+bool DecodeRows(Reader* r, std::vector<int>* out) {
+  std::uint64_t rows = 0;
+  if (!r->ReadVarint(&rows)) return false;
+  if (rows > serial::limits::kMaxFixtureRows) return false;
+  out->reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    out->push_back(0);
+  }
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// taint-expect: clean
+// std::min with a limits::kMax* ceiling clamps the wire value to a
+// trusted bound; the clamped variable is safe to allocate with.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+namespace serial {
+namespace limits {
+inline constexpr std::uint64_t kMaxFixtureSlots = 1u << 8;
+}
+}  // namespace serial
+
+struct Reader {
+  bool ReadU64(std::uint64_t* out);
+};
+
+bool DecodeSlots(Reader* r, std::vector<int>* out) {
+  std::uint64_t want = 0;
+  if (!r->ReadU64(&want)) return false;
+  const std::uint64_t slots =
+      std::min(want, serial::limits::kMaxFixtureSlots);
+  out->resize(slots);
+  return true;
+}
+
+}  // namespace fixture

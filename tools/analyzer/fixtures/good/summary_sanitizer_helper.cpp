@@ -1,0 +1,32 @@
+// taint-expect: clean
+// The bound check lives in a helper: BoundedReserve() compares its
+// parameter against limits::kMax* before reserving, so callers may
+// pass raw wire counts (bounds-param summary propagation).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+namespace serial {
+namespace limits {
+inline constexpr std::uint64_t kMaxFixtureCells = 1u << 14;
+}
+}  // namespace serial
+
+struct Reader {
+  bool ReadVarint(std::uint64_t* out);
+};
+
+bool BoundedReserve(std::vector<int>* out, std::uint64_t cells) {
+  if (cells > serial::limits::kMaxFixtureCells) return false;
+  out->reserve(cells);
+  return true;
+}
+
+bool DecodeGrid(Reader* r, std::vector<int>* out) {
+  std::uint64_t cells = 0;
+  if (!r->ReadVarint(&cells)) return false;
+  return BoundedReserve(out, cells);
+}
+
+}  // namespace fixture

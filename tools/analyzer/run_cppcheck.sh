@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Triaged cppcheck wall with a committed baseline.
+#
+# Policy (mirrors run_scan_build.sh):
+#   - NEW findings (present now, absent from the baseline) fail the
+#     run: fix them or — after review — add them to the baseline.
+#   - FIXED findings (in the baseline, gone now) are auto-accepted:
+#     the script tells you to shrink the baseline but stays green, so
+#     cleanups never block on a baseline edit race.
+#   - Inline suppressions are banned in src/ (vegvisir_lint.py rule
+#     no-inline-taint-suppression covers taint; cppcheck inline
+#     suppression support is simply not enabled here). The baseline
+#     file is the one reviewed suppression surface.
+#
+# The container used for local development may not ship cppcheck; the
+# wall then SKIPs (exit 0) and relies on the CI image. Keep the
+# skip message grep-able: the CI job asserts it did NOT skip.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BASELINE="$ROOT/tools/analyzer/baselines/cppcheck_baseline.txt"
+
+if ! command -v cppcheck >/dev/null 2>&1; then
+  echo "SKIP: cppcheck not installed; wall enforced where it exists (CI)."
+  exit 0
+fi
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+# --error-exitcode is left at 0: the baseline diff below is the
+# verdict, not cppcheck's own idea of severity. Inline suppressions
+# stay disabled (cppcheck's default) on purpose.
+cppcheck --quiet \
+  --enable=warning,performance,portability \
+  --std=c++20 \
+  --template='{file}:{line}:{id}:{message}' \
+  -I "$ROOT/src" \
+  "$ROOT/src" 2>&1 |
+  sed "s|^$ROOT/||" | LC_ALL=C sort -u > "$current" || true
+
+known="$(mktemp)"
+grep -v '^#' "$BASELINE" | sed '/^$/d' | LC_ALL=C sort -u > "$known"
+trap 'rm -f "$current" "$known"' EXIT
+
+new_findings="$(LC_ALL=C comm -13 "$known" "$current")"
+fixed_findings="$(LC_ALL=C comm -23 "$known" "$current")"
+
+if [[ -n "$fixed_findings" ]]; then
+  echo "baseline entries no longer reported (shrink the baseline):"
+  echo "$fixed_findings" | sed 's/^/  - /'
+fi
+if [[ -n "$new_findings" ]]; then
+  echo "NEW cppcheck findings (not in $BASELINE):"
+  echo "$new_findings" | sed 's/^/  + /'
+  exit 1
+fi
+echo "cppcheck wall: clean ($(wc -l < "$known" | tr -d ' ') baselined)"

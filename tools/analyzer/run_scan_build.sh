@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Triaged clang scan-build wall with a committed baseline.
+#
+# Same policy as run_cppcheck.sh: new findings fail, disappeared
+# baseline entries are auto-accepted with a nudge to shrink the file.
+# Findings are normalized to `file:line:description` so the diff is
+# stable across clang versions that reorder report output.
+#
+# scan-build needs clang; containers without it SKIP (exit 0) and the
+# CI image enforces the wall.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BASELINE="$ROOT/tools/analyzer/baselines/scan_build_baseline.txt"
+
+if ! command -v scan-build >/dev/null 2>&1; then
+  echo "SKIP: scan-build not installed; wall enforced where it exists (CI)."
+  exit 0
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# A scratch single-config build so the wall never dirties the normal
+# build tree (and never reuses its non-analyzed objects).
+scan-build --use-cc="$(command -v clang)" --use-c++="$(command -v clang++)" \
+  cmake -S "$ROOT" -B "$workdir/build" -DCMAKE_BUILD_TYPE=Debug \
+  > "$workdir/configure.log" 2>&1
+scan-build -o "$workdir/reports" --status-bugs \
+  cmake --build "$workdir/build" -j \
+  > "$workdir/build.log" 2>&1 && scan_status=0 || scan_status=$?
+
+# Normalize: scan-build emits `path:line:col: warning: text [checker]`.
+grep -E ':[0-9]+:[0-9]+: warning:' "$workdir/build.log" |
+  sed -E "s|^$ROOT/||; s|:([0-9]+):[0-9]+: warning: |:\1:|" |
+  LC_ALL=C sort -u > "$workdir/current.txt" || true
+
+known="$workdir/known.txt"
+grep -v '^#' "$BASELINE" | sed '/^$/d' | LC_ALL=C sort -u > "$known"
+
+new_findings="$(LC_ALL=C comm -13 "$known" "$workdir/current.txt")"
+fixed_findings="$(LC_ALL=C comm -23 "$known" "$workdir/current.txt")"
+
+if [[ -n "$fixed_findings" ]]; then
+  echo "baseline entries no longer reported (shrink the baseline):"
+  echo "$fixed_findings" | sed 's/^/  - /'
+fi
+if [[ -n "$new_findings" ]]; then
+  echo "NEW scan-build findings (not in $BASELINE):"
+  echo "$new_findings" | sed 's/^/  + /'
+  exit 1
+fi
+if [[ "$scan_status" -ne 0 && ! -s "$workdir/current.txt" ]]; then
+  # --status-bugs failed but we parsed no findings: the build itself
+  # broke, which must not masquerade as an analyzer pass.
+  echo "scan-build build failed; see its log:" >&2
+  tail -40 "$workdir/build.log" >&2
+  exit 1
+fi
+echo "scan-build wall: clean ($(wc -l < "$known" | tr -d ' ') baselined)"

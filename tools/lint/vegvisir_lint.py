@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Custom invariant linter for the Vegvisir codebase.
 
-Three repo-specific invariants that clang-tidy cannot express:
+Five repo-specific invariants that clang-tidy cannot express:
 
   1. no-wall-clock: determinism depends on every timestamp and random
      draw flowing from the seeded simulator. Wall-clock and ambient-
@@ -26,6 +26,18 @@ Three repo-specific invariants that clang-tidy cannot express:
      result: a bare `Foo::Decode(...);` statement is an error. Consume
      it (assign, return, wrap in VEGVISIR_RETURN_IF_ERROR/if/EXPECT)
      or cast to void explicitly.
+
+  4. decode-literal-clamp: inside a Decode*/Parse*/Deserialize* body,
+     comparing a value against a bare integer literal (> 8) is an
+     error. Ad-hoc clamps drift apart and dodge both the taint
+     analyzer and the bomb tests; every decode bound must be a named
+     constant in src/serial/limits.h (lines mentioning `limits::` or
+     `sizeof` are exempt — those ARE the sanctioned forms).
+
+  5. no-inline-taint-suppression: wire_taint.py findings may only be
+     suppressed in tools/analyzer/wire_taint_allow.txt (one reviewed
+     file). Any `taint-expect` / NOLINT(...taint...) marker inside
+     src/ is an error, even in a comment.
 
 Allowlist: suppressions live HERE, in the tables below, one entry per
 line with a justification — never inline in the source (the lint CI
@@ -97,6 +109,21 @@ METRIC_METHODS = {
 
 DECODER_NAME = re.compile(r"\b(Decode|Parse|Deserialize)\w*\s*\(")
 STATUS_RETURN = re.compile(r"\b(Status|StatusOr)\b")
+
+# decode-literal-clamp: `value > 1234` style comparisons (relational
+# only; == against small structural tags is fine). The operand class
+# before the operator keeps shifts (`x >> 7`) and template argument
+# lists from matching.
+LITERAL_CLAMP = re.compile(
+    r"[\w\)\]]\s*(?:<=|>=|<|>)\s*(0x[0-9a-fA-F]+|\d+)\b")
+
+# Largest literal a decoder may compare against without a named
+# limit: small structural values (tag ranges, varint continuation
+# groups) stay legal, anything bound-sized must come from limits.h.
+MAX_BARE_LITERAL = 8
+
+TAINT_SUPPRESSION = re.compile(
+    r"taint-expect|wire-taint-allow|NOLINT\([^)]*taint")
 
 
 def strip_code(text):
@@ -271,6 +298,73 @@ def check_decode_status(rel, stripped, findings):
             )
 
 
+def match_brace(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def decoder_bodies(stripped):
+    """Yields (name, body_start, body_end) for each Decode*/Parse*/
+    Deserialize* function DEFINITION (call sites and declarations are
+    followed by `;`/`)` rather than a brace)."""
+    for m in DECODER_NAME.finditer(stripped):
+        open_paren = stripped.index("(", m.start())
+        depth = 0
+        close = None
+        for i in range(open_paren, len(stripped)):
+            if stripped[i] == "(":
+                depth += 1
+            elif stripped[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = i + 1
+                    break
+        if close is None:
+            continue
+        after = re.match(r"\s*(?:const\s*)?\{", stripped[close:])
+        if not after:
+            continue
+        body_start = close + after.end()
+        yield (m.group(0).rstrip("( \t"), body_start,
+               match_brace(stripped, body_start - 1))
+
+
+def check_literal_clamps(rel, stripped, findings):
+    for name, start, end in decoder_bodies(stripped):
+        body = stripped[start:end]
+        for line_text in body.split("\n"):
+            if "limits::" in line_text or "sizeof" in line_text:
+                continue
+            for cm in LITERAL_CLAMP.finditer(line_text):
+                value = int(cm.group(1), 0)
+                if value <= MAX_BARE_LITERAL:
+                    continue
+                line = line_of(stripped, start + body.index(line_text))
+                findings.append(
+                    (rel, line, "decode-literal-clamp",
+                     f"{name}() compares against bare literal "
+                     f"{cm.group(1)}; decode bounds must be named "
+                     "constants in src/serial/limits.h")
+                )
+
+
+def check_taint_suppressions(rel, text, findings):
+    # Scans RAW text: suppressions hide in comments by design.
+    for m in TAINT_SUPPRESSION.finditer(text):
+        findings.append(
+            (rel, line_of(text, m.start()), "no-inline-taint-suppression",
+             "inline wire-taint suppressions are banned in src/; add a "
+             "justified entry to tools/analyzer/wire_taint_allow.txt")
+        )
+
+
 def main():
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     if not (root / "src/telemetry/metric_names.h").exists():
@@ -286,6 +380,8 @@ def main():
         check_wall_clock(rel, stripped, findings)
         check_metric_names(rel, text, stripped, tables, findings)
         check_decode_status(rel, stripped, findings)
+        check_literal_clamps(rel, stripped, findings)
+        check_taint_suppressions(rel, text, findings)
     for rel, line, rule, message in sorted(findings):
         print(f"{rel}:{line}: {rule}: {message}")
     if findings:
