@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/pool.h"
 #include "telemetry/bench_io.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
@@ -34,9 +35,16 @@ inline telemetry::Snapshot& Collector() {
   return *s;
 }
 
-// Writes BENCH_<name>.json from Sink() merged with Collector().
+// Writes BENCH_<name>.json from Sink() merged with Collector(). Every
+// bench records the execution width it ran at (VEGVISIR_THREADS) and
+// the machine's hardware concurrency, so perf numbers across the
+// BENCH_*.json trajectory are comparable.
 inline void WriteBench(const char* name,
                        std::vector<telemetry::BenchValue> extra = {}) {
+  extra.push_back(
+      {"threads", static_cast<double>(exec::ExecConfig::FromEnv().threads)});
+  extra.push_back({"hardware_concurrency",
+                   static_cast<double>(exec::HardwareConcurrency())});
   telemetry::Snapshot out = Sink().metrics.TakeSnapshot();
   out.Merge(Collector());
   (void)telemetry::WriteBenchJson(name, out, std::move(extra));

@@ -7,7 +7,13 @@
 
 #include "bench_common.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "chain/block.h"
 #include "chain/genesis.h"
@@ -15,6 +21,8 @@
 #include "crypto/drbg.h"
 #include "csm/membership.h"
 #include "csm/state_machine.h"
+#include "exec/pool.h"
+#include "exec/verifier.h"
 
 namespace vegvisir::chain {
 namespace {
@@ -197,6 +205,78 @@ void BM_FrontierLevelQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_FrontierLevelQuery)->Arg(1)->Arg(8)->Arg(64);
 
+// Thread-count sweep over the batched-signature ingest path: enqueue
+// one wave of pre-verification jobs for a chain of signed blocks on a
+// 1/2/4/8-worker pool and drain every verdict through the blocking
+// Lookup, exactly like the recon/gossip ingest pipeline does. Emits
+// BENCH_parallel_validation.json with blocks/sec per width and the
+// speedup over the serial (threads=1) leg; Ed25519 verification
+// dominates, so the speedup tracks available cores.
+void RunParallelValidationSweep() {
+  const crypto::KeyPair owner = OwnerKeys();
+  const Block genesis = GenesisBuilder("bench").Build("owner", owner);
+  csm::Membership membership;
+  const auto cert =
+      Certificate::Deserialize(genesis.transactions()[0].args[0].AsBytes());
+  (void)membership.Add(*cert, genesis.hash());
+
+  constexpr int kBlocks = 256;
+  constexpr int kReps = 3;
+  std::vector<Block> blocks;
+  BlockHash parent = genesis.hash();
+  for (int i = 0; i < kBlocks; ++i) {
+    BlockHeader h;
+    h.user_id = "owner";
+    h.timestamp_ms = 1'000 + static_cast<std::uint64_t>(i);
+    h.parents = {parent};
+    blocks.push_back(Block::Create(std::move(h), MakeTxs(4), owner));
+    parent = blocks.back().hash();
+  }
+  std::vector<const Block*> ptrs;
+  ptrs.reserve(blocks.size());
+  for (const Block& b : blocks) ptrs.push_back(&b);
+
+  // The sweep gets its own sink so the exec.* counters in the JSON
+  // reflect only this experiment, not the microbenchmarks above.
+  telemetry::Telemetry sink;
+  std::vector<telemetry::BenchValue> extra;
+  double serial_rate = 0.0;
+  for (const unsigned threads : {1U, 2U, 4U, 8U}) {
+    exec::ExecConfig cfg;
+    cfg.threads = threads;
+    exec::ThreadPool pool(cfg, &sink);
+    double best = 0.0;  // best-of-reps damps scheduler noise
+    for (int rep = 0; rep < kReps; ++rep) {
+      exec::BatchVerifier verifier(&pool, &sink);
+      const auto start = std::chrono::steady_clock::now();
+      verifier.Enqueue(MakeVerifyJobs(ptrs, membership));
+      for (const Block& b : blocks) {
+        const auto verdict = verifier.Lookup(b.hash(), cert->public_key);
+        if (!verdict.has_value() || !*verdict) {
+          std::fprintf(stderr,
+                       "parallel sweep: block failed pre-verification\n");
+          std::exit(1);
+        }
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      best = std::max(best, static_cast<double>(kBlocks) / elapsed.count());
+    }
+    if (threads == 1) serial_rate = best;
+    extra.push_back({"blocks_per_sec_t" + std::to_string(threads), best});
+    if (threads > 1 && serial_rate > 0.0) {
+      extra.push_back(
+          {"speedup_t" + std::to_string(threads), best / serial_rate});
+    }
+  }
+  extra.push_back({"block_count", static_cast<double>(kBlocks)});
+  extra.push_back({"hardware_concurrency",
+                   static_cast<double>(exec::HardwareConcurrency())});
+  (void)telemetry::WriteBenchJson("parallel_validation",
+                                  sink.metrics.TakeSnapshot(),
+                                  std::move(extra));
+}
+
 }  // namespace
 }  // namespace vegvisir::chain
 
@@ -205,6 +285,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vegvisir::chain::RunParallelValidationSweep();
   vegvisir::benchio::WriteBench("validation");
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "chain/validation.h"
 
+#include <optional>
+#include <utility>
+
 namespace vegvisir::chain {
 namespace {
 
@@ -16,7 +19,8 @@ ValidationResult Retry(Status s) {
 ValidationResult ValidateBlock(const Block& block, const Dag& dag,
                                const MembershipView& membership,
                                std::uint64_t local_time_ms,
-                               const ValidationParams& params) {
+                               const ValidationParams& params,
+                               exec::BatchVerifier* presig) {
   // A parentless block can only be a (different chain's) genesis.
   if (block.header().parents.empty()) {
     return Reject(FailedPreconditionError("parentless non-genesis block"));
@@ -30,8 +34,21 @@ ValidationResult ValidateBlock(const Block& block, const Dag& dag,
   // quarantine indefinitely.
   const Certificate* cert =
       membership.FindCertificate(block.header().user_id);
-  if (cert != nullptr && !block.VerifySignature(cert->public_key)) {
-    return Reject(UnauthenticatedError("bad signature on block"));
+  if (cert != nullptr) {
+    // Consume a batched pre-verification verdict when one exists for
+    // this exact (hash, key) pair; anything else — no cache, no
+    // entry, or a certificate that changed since the job was enqueued
+    // — verifies synchronously right here.
+    std::optional<bool> cached;
+    if (presig != nullptr) {
+      cached = presig->Lookup(block.hash(), cert->public_key);
+    }
+    const bool signature_ok =
+        cached.has_value() ? *cached
+                           : block.VerifySignature(cert->public_key);
+    if (!signature_ok) {
+      return Reject(UnauthenticatedError("bad signature on block"));
+    }
   }
 
   // Check 2: parents present. Missing parents on an authenticated (or
@@ -82,6 +99,29 @@ ValidationResult ValidateBlock(const Block& block, const Dag& dag,
   }
 
   return ValidationResult{BlockVerdict::kValid, Status::Ok()};
+}
+
+std::vector<exec::VerifyJob> MakeVerifyJobs(
+    const std::vector<const Block*>& blocks, const MembershipView& membership,
+    const exec::BatchVerifier* dedup) {
+  std::vector<exec::VerifyJob> jobs;
+  jobs.reserve(blocks.size());
+  for (const Block* block : blocks) {
+    if (block == nullptr) continue;
+    const Certificate* cert =
+        membership.FindCertificate(block->header().user_id);
+    if (cert == nullptr) continue;  // pre-verifiable once enrolment lands
+    if (dedup != nullptr && dedup->Cached(block->hash(), cert->public_key)) {
+      continue;
+    }
+    exec::VerifyJob job;
+    job.id = block->hash();
+    job.key = cert->public_key;
+    job.message = block->SigningPayload();
+    job.signature = block->signature();
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 }  // namespace vegvisir::chain

@@ -22,10 +22,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "chain/block.h"
 #include "chain/certificate.h"
 #include "chain/dag.h"
+#include "exec/verifier.h"
 #include "util/status.h"
 
 namespace vegvisir::chain {
@@ -69,9 +71,27 @@ struct ValidationParams {
 
 // Validates `block` against the local replica. The block must not
 // already be in the DAG (callers check Contains first).
+//
+// `presig` (optional) is the node's batched pre-verification cache:
+// when it holds a verdict for this block under the creator's current
+// certificate, check 4 consumes that verdict instead of re-running
+// Ed25519; a missing or key-mismatched entry falls back to a
+// synchronous verify. Verdicts — and therefore every counter — are
+// identical with or without the cache.
 ValidationResult ValidateBlock(const Block& block, const Dag& dag,
                                const MembershipView& membership,
                                std::uint64_t local_time_ms,
-                               const ValidationParams& params = {});
+                               const ValidationParams& params = {},
+                               exec::BatchVerifier* presig = nullptr);
+
+// Builds signature-verification jobs for every block whose creator's
+// certificate is already known, skipping blocks `dedup` has cached
+// under that same key (so repeated sweeps over a quarantine don't
+// re-serialize signing payloads). The batch-ingest front half:
+// enqueue these on arrival, then let ValidateBlock consume the
+// verdicts in serial topological order.
+std::vector<exec::VerifyJob> MakeVerifyJobs(
+    const std::vector<const Block*>& blocks, const MembershipView& membership,
+    const exec::BatchVerifier* dedup = nullptr);
 
 }  // namespace vegvisir::chain

@@ -1,0 +1,123 @@
+// Deterministic work-stealing thread pool (DESIGN.md §12).
+//
+// Vegvisir's hot path is stateless Ed25519 verification; everything
+// stateful (DAG insert, CSM apply) stays on the owning thread. The
+// pool therefore only ever runs closed-over, side-effect-free jobs
+// whose results land behind a lock or an atomic — which is what makes
+// `threads=N` observably identical to `threads=1`.
+//
+// Shape: one bounded MPMC injection queue plus a per-worker deque.
+// Workers drain their own deque LIFO (cache locality), then the
+// global queue, then steal FIFO from a sibling. Tasks here are
+// coarse — one Ed25519 verify is tens of microseconds — so a single
+// flat mutex around the queues costs noise compared to the work and
+// buys obviously-correct wakeup logic.
+//
+// `threads = 1` spawns no workers at all: `Submit` runs the task
+// inline and `Wait` is a no-op, byte-identical to the pre-pool serial
+// path. A full queue also degrades to inline execution on the
+// submitter (backpressure without blocking or dropping).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace vegvisir::exec {
+
+// Threads the hardware can run at once; at least 1 even when the
+// platform reports zero.
+unsigned HardwareConcurrency();
+
+struct ExecConfig {
+  // Total execution width. 1 = serial (no worker threads); N >= 2
+  // spawns N workers and the submitting thread helps during Wait().
+  unsigned threads = 1;
+  // Bound on the global injection queue; submissions past it run
+  // inline on the submitter.
+  std::size_t queue_capacity = 4096;
+
+  // Reads VEGVISIR_THREADS (clamped to [1, 64]); unset or malformed
+  // means serial.
+  static ExecConfig FromEnv();
+};
+
+class ThreadPool {
+ public:
+  // `sink` receives exec.tasks_executed / exec.steals counters and
+  // the exec.threads / exec.pool_utilization gauges; may be null.
+  explicit ThreadPool(ExecConfig config,
+                      telemetry::Telemetry* sink = nullptr);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return config_.threads; }
+  bool parallel() const { return !workers_.empty(); }
+
+  // Runs `task` on some thread. Serial mode and queue-full
+  // backpressure both execute inline before returning.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. The calling
+  // thread helps drain the queues while it waits.
+  void Wait();
+
+  // Splits [0, n) into chunks of `grain` and runs `body(begin, end)`
+  // across the pool, returning when all chunks are done. Serial mode
+  // runs body(0, n) inline.
+  void ParallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+  std::uint64_t TasksExecutedForTest() const {
+    return total_tasks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> local;  // owner pops back, thieves front
+    std::thread thread;
+  };
+
+  // All queue access happens under mu_. `self` is the worker index,
+  // or kHelper for the Wait()ing submitter.
+  static constexpr std::size_t kHelper = static_cast<std::size_t>(-1);
+  bool TakeTaskLocked(std::size_t self, std::function<void()>* task);
+  void RunTask(std::unique_lock<std::mutex>& lock,
+               std::function<void()> task, bool on_worker);
+  void WorkerLoop(std::size_t index);
+
+  ExecConfig config_;
+  telemetry::Counter c_tasks_;
+  telemetry::Counter c_steals_;
+  telemetry::Gauge g_threads_;
+  telemetry::Gauge g_utilization_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "a task was queued"
+  std::condition_variable idle_cv_;  // Wait(): "outstanding hit zero"
+  std::deque<std::function<void()>> global_;  // bounded MPMC injection queue
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t next_worker_ = 0;  // ParallelFor round-robin cursor
+  std::size_t outstanding_ = 0;  // queued + currently running
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> total_tasks_{0};
+  std::atomic<std::uint64_t> worker_tasks_{0};
+};
+
+// Free-function convenience that tolerates a null pool (serial).
+void ParallelFor(ThreadPool* pool, std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace vegvisir::exec

@@ -1,0 +1,116 @@
+#include "exec/verifier.h"
+
+#include <utility>
+
+namespace vegvisir::exec {
+
+BatchVerifier::BatchVerifier(ThreadPool* pool, telemetry::Telemetry* sink,
+                             std::size_t capacity)
+    : pool_(pool), capacity_(capacity < 1 ? 1 : capacity) {
+  if (sink != nullptr) {
+    c_batches_ = sink->metrics.GetCounter("exec.batches");
+    c_batch_jobs_ = sink->metrics.GetCounter("exec.batch_jobs");
+    c_hits_ = sink->metrics.GetCounter("exec.presig_hits");
+    c_misses_ = sink->metrics.GetCounter("exec.presig_misses");
+    h_batch_size_ = sink->metrics.GetHistogram(
+        "exec.batch_size", telemetry::PowerOfTwoBounds(10));
+  }
+}
+
+BatchVerifier::~BatchVerifier() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void BatchVerifier::Enqueue(std::vector<VerifyJob> jobs) {
+  struct Pending {
+    VerifyJob job;
+    std::uint64_t gen;
+  };
+  std::vector<Pending> fresh;
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    for (VerifyJob& job : jobs) {
+      const auto it = entries_.find(job.id);
+      if (it != entries_.end() && it->second.key == job.key) continue;
+      if (it == entries_.end()) {
+        while (entries_.size() >= capacity_ && !fifo_.empty()) {
+          // fifo_ can hold ids whose entry was already dropped by
+          // Forget; skip those.
+          entries_.erase(fifo_.front());
+          fifo_.pop_front();
+        }
+        fifo_.push_back(job.id);
+      }
+      Entry& entry = entries_[job.id];
+      entry.key = job.key;
+      entry.gen = ++gen_counter_;
+      entry.done = false;
+      entry.valid = false;
+      fresh.push_back(Pending{std::move(job), entry.gen});
+    }
+    if (fresh.empty()) return;
+    in_flight_ += fresh.size();
+    c_batches_.Inc();
+    c_batch_jobs_.Inc(fresh.size());
+    h_batch_size_.Observe(static_cast<double>(fresh.size()));
+  }
+  for (Pending& pending : fresh) {
+    auto run = [this, job = std::move(pending.job), gen = pending.gen] {
+      const bool valid = crypto::Verify(job.key, job.message, job.signature);
+      Record(job.id, gen, valid);
+    };
+    if (pool_ != nullptr) {
+      pool_->Submit(std::move(run));
+    } else {
+      run();
+    }
+  }
+}
+
+void BatchVerifier::Record(const ContentId& id, std::uint64_t gen,
+                           bool valid) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  const auto it = entries_.find(id);
+  if (it != entries_.end() && it->second.gen == gen) {
+    it->second.done = true;
+    it->second.valid = valid;
+  }
+  --in_flight_;
+  done_cv_.notify_all();
+}
+
+std::optional<bool> BatchVerifier::Lookup(const ContentId& id,
+                                          const crypto::PublicKey& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || !(it->second.key == key)) {
+    c_misses_.Inc();
+    return std::nullopt;
+  }
+  c_hits_.Inc();
+  // Pending entry: the job is inline (already done), queued, or on a
+  // worker — all guarantee progress, so this wait is bounded by one
+  // batch drain.
+  done_cv_.wait(lock, [&] { return it->second.done; });
+  return it->second.valid;
+}
+
+bool BatchVerifier::Cached(const ContentId& id,
+                           const crypto::PublicKey& key) const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  const auto it = entries_.find(id);
+  return it != entries_.end() && it->second.key == key;
+}
+
+void BatchVerifier::Forget(const ContentId& id) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  entries_.erase(id);
+}
+
+std::size_t BatchVerifier::SizeForTest() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+}  // namespace vegvisir::exec

@@ -26,6 +26,7 @@ NodeConfig Cluster::ConfigFor(int i) const {
   cfg.user_id = (i == 0) ? "owner" : "user-" + std::to_string(i);
   cfg.drop_foreign_blocks = IsAdversary(i);
   cfg.telemetry = telemetry_[static_cast<std::size_t>(i)].get();
+  cfg.exec_pool = exec_pool_.get();
   return cfg;
 }
 
@@ -65,6 +66,11 @@ Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
   net_telem_ = std::make_unique<telemetry::Telemetry>();
   c_crashes_ = net_telem_->metrics.GetCounter("fault.crashes");
   c_restarts_ = net_telem_->metrics.GetCounter("fault.restarts");
+  // One pool for the whole cluster: signature batches from every node
+  // share the workers, and its exec.* series lands in the network
+  // bundle (the cluster-wide sink).
+  exec_pool_ = std::make_unique<exec::ThreadPool>(config_.exec,
+                                                  net_telem_.get());
   if (!config_.faults.Empty()) {
     injector_ = std::make_unique<sim::FaultInjector>(
         config_.faults, config_.seed ^ 0xFA171ULL, net_telem_.get());
@@ -158,6 +164,10 @@ bool Cluster::RestartNode(int i) {
 }
 
 telemetry::Snapshot Cluster::AggregateSnapshot() const {
+  // Quiesce the pool first: a pre-verification job that nothing ever
+  // Lookup()ed may still be in flight, and snapshotting past it would
+  // make exec.tasks_executed depend on the schedule.
+  exec_pool_->Wait();
   telemetry::Snapshot total = net_telem_->metrics.TakeSnapshot();
   for (const auto& t : telemetry_) {
     total.Merge(t->metrics.TakeSnapshot());

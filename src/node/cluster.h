@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/pool.h"
 #include "node/checkpoint.h"
 #include "node/gossip.h"
 #include "node/node.h"
@@ -38,6 +39,10 @@ struct ClusterConfig {
   // crash/restart events at construction time. Its fault.* counters
   // land in the network's telemetry bundle.
   sim::FaultPlan faults;
+  // Execution width for the shared signature-verification pool
+  // (DESIGN.md §12). Defaults to VEGVISIR_THREADS (serial when
+  // unset); every observable result is identical for any setting.
+  exec::ExecConfig exec = exec::ExecConfig::FromEnv();
 };
 
 class Cluster {
@@ -105,6 +110,9 @@ class Cluster {
   }
   // The shared network's bundle (net.* series).
   telemetry::Telemetry& network_telemetry() { return *net_telem_; }
+  // The shared execution pool every node batches Ed25519 checks on
+  // (its exec.tasks_executed/steals land in the network bundle).
+  exec::ThreadPool& exec_pool() { return *exec_pool_; }
   // One snapshot summing every node's registry plus the network's —
   // the cluster-wide totals a bench dumps to BENCH_<name>.json.
   telemetry::Snapshot AggregateSnapshot() const;
@@ -121,6 +129,9 @@ class Cluster {
   // Bundles are created before the components that write into them.
   std::vector<std::unique_ptr<telemetry::Telemetry>> telemetry_;
   std::unique_ptr<telemetry::Telemetry> net_telem_;
+  // Declared before nodes_: node destructors wait out their in-flight
+  // verification jobs, so the pool must outlive every node.
+  std::unique_ptr<exec::ThreadPool> exec_pool_;
   std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<sim::Network> network_;
   crypto::KeyPair owner_keys_;

@@ -85,7 +85,14 @@ void GossipEngine::Tick() {
   // abandoned responder state is reaped, quarantined blocks whose
   // timestamps have come into tolerance get another chance.
   ExpireSessions();
-  if (node_->QuarantineSize() > 0) node_->RetryQuarantine();
+  if (node_->QuarantineSize() > 0) {
+    // Batch the quarantine's signature checks across the execution
+    // pool before the serial retry sweep consumes them — creator
+    // enrolments may have landed since the blocks were parked, and
+    // already-cached entries make this a cheap no-op.
+    node_->PreverifyQuarantine();
+    node_->RetryQuarantine();
+  }
 
   if (running_) {
     c_ticks_.Inc();

@@ -23,6 +23,7 @@ Node::Node(NodeConfig config, chain::Block genesis, crypto::KeyPair keys)
           telem_->metrics.GetCounter("node.quarantine_expired")),
       c_foreign_dropped_(telem_->metrics.GetCounter("node.foreign_dropped")),
       g_quarantine_size_(telem_->metrics.GetGauge("node.quarantine_size")),
+      presig_(config_.exec_pool, telem_),
       dag_(genesis),
       csm_(config_.csm, telem_) {
   clock_ = [this] { return manual_time_ms_; };
@@ -166,11 +167,19 @@ StatusOr<chain::BlockHash> Node::RevokeUser(const chain::Certificate& cert) {
 StatusOr<chain::BlockHash> Node::AddWitnessBlock() { return Submit({}); }
 
 chain::BlockVerdict Node::AdmitBlock(const chain::Block& block) {
-  const chain::ValidationResult result = chain::ValidateBlock(
-      block, dag_, csm_.membership(), NowMs(), config_.validation);
+  const chain::ValidationResult result =
+      chain::ValidateBlock(block, dag_, csm_.membership(), NowMs(),
+                           config_.validation, &presig_);
+  // Energy accounting stays per-validation regardless of whether the
+  // Ed25519 check was batched: the joules were spent either way.
   if (meter_ != nullptr) {
     meter_->AddVerify();
     meter_->AddHash(block.EncodedSize());
+  }
+  // A final verdict consumes the pre-verification entry; kRetryLater
+  // keeps it for the quarantine sweep.
+  if (result.verdict != chain::BlockVerdict::kRetryLater) {
+    presig_.Forget(block.hash());
   }
   telem_->trace.RecordInstant("block.validate", NowMs(),
                               static_cast<std::uint64_t>(result.verdict));
@@ -183,6 +192,7 @@ chain::BlockVerdict Node::AdmitBlock(const chain::Block& block) {
     }
     case chain::BlockVerdict::kRetryLater: {
       if (quarantine_.size() >= config_.quarantine_cap) {
+        presig_.Forget(quarantine_.begin()->first);
         quarantine_.erase(quarantine_.begin());
       }
       if (quarantine_.emplace(block.hash(), QuarantineEntry{block, NowMs()})
@@ -246,27 +256,32 @@ void Node::RetryQuarantine() {
       if (!parents_known) {
         if (expired(it->second)) {
           c_quarantine_expired_.Inc();
+          presig_.Forget(it->first);
           it = quarantine_.erase(it);
         } else {
           ++it;
         }
         continue;
       }
-      const chain::ValidationResult result = chain::ValidateBlock(
-          block, dag_, csm_.membership(), NowMs(), config_.validation);
+      const chain::ValidationResult result =
+          chain::ValidateBlock(block, dag_, csm_.membership(), NowMs(),
+                               config_.validation, &presig_);
       if (result.verdict == chain::BlockVerdict::kValid) {
         if (dag_.Insert(block).ok()) {
           csm_.ApplyBlock(block);
           c_blocks_accepted_.Inc();
         }
+        presig_.Forget(it->first);
         it = quarantine_.erase(it);
         progress = true;
       } else if (result.verdict == chain::BlockVerdict::kReject) {
         c_blocks_rejected_.Inc();
+        presig_.Forget(it->first);
         it = quarantine_.erase(it);
         progress = true;
       } else if (expired(it->second)) {
         c_quarantine_expired_.Inc();
+        presig_.Forget(it->first);
         it = quarantine_.erase(it);
       } else {
         ++it;  // still undecidable; keep waiting
@@ -274,6 +289,18 @@ void Node::RetryQuarantine() {
     }
   }
   g_quarantine_size_.Set(static_cast<double>(quarantine_.size()));
+}
+
+void Node::PreverifyBlocks(const std::vector<const chain::Block*>& blocks) {
+  presig_.Enqueue(chain::MakeVerifyJobs(blocks, csm_.membership(), &presig_));
+}
+
+void Node::PreverifyQuarantine() {
+  if (quarantine_.empty()) return;
+  std::vector<const chain::Block*> blocks;
+  blocks.reserve(quarantine_.size());
+  for (const auto& [hash, entry] : quarantine_) blocks.push_back(&entry.block);
+  PreverifyBlocks(blocks);
 }
 
 NodeStats Node::stats() const {

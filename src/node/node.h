@@ -32,6 +32,7 @@
 #include "chain/validation.h"
 #include "crypto/ed25519.h"
 #include "csm/state_machine.h"
+#include "exec/verifier.h"
 #include "recon/session.h"
 #include "sim/energy.h"
 #include "telemetry/telemetry.h"
@@ -62,6 +63,11 @@ struct NodeConfig {
   // the node owns a private bundle; a Cluster wires every node to a
   // per-node registry it can aggregate (see node/cluster.h).
   telemetry::Telemetry* telemetry = nullptr;
+  // Shared execution pool for batched signature pre-verification
+  // (DESIGN.md §12). Null or serial keeps ingest on the calling
+  // thread; either way verdicts and telemetry are identical. A
+  // Cluster owns one pool and hands it to every node.
+  exec::ThreadPool* exec_pool = nullptr;
 };
 
 // Node-level counters, assembled on demand from the telemetry
@@ -160,6 +166,17 @@ class Node final : public recon::ReconHost {
   // accepted block; exposed for clock advances).
   void RetryQuarantine();
 
+  // Fans signature checks for the quarantine across the execution
+  // pool (creator enrolments may have landed since the blocks were
+  // parked). The gossip tick calls this right before its retry sweep;
+  // cached entries are skipped, so repeated calls are cheap.
+  void PreverifyQuarantine();
+
+  // ReconHost pipelined-ingest hook: batch-verify fetched blocks
+  // while the session's serial merge proceeds.
+  void PreverifyBlocks(
+      const std::vector<const chain::Block*>& blocks) override;
+
   NodeStats stats() const;
 
   // The node's telemetry bundle (never null): its metrics registry
@@ -190,6 +207,10 @@ class Node final : public recon::ReconHost {
   telemetry::Counter c_quarantine_expired_;
   telemetry::Counter c_foreign_dropped_;
   telemetry::Gauge g_quarantine_size_;
+  // Batched signature pre-verification cache; validation consumes its
+  // verdicts in serial order (chain/validation.h). Declared before
+  // dag_/csm_ so in-flight jobs drain after all consumers are gone.
+  exec::BatchVerifier presig_;
   chain::Dag dag_;
   csm::StateMachine csm_;
   std::function<std::uint64_t()> clock_;

@@ -159,6 +159,7 @@ Status InitiatorSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
 }
 
 Status InitiatorSession::StashBlocks(const std::vector<Bytes>& blocks) {
+  std::vector<const chain::Block*> fresh;
   for (const Bytes& raw : blocks) {
     auto block = chain::Block::Deserialize(raw);
     if (!block.ok()) return block.status();
@@ -166,8 +167,12 @@ Status InitiatorSession::StashBlocks(const std::vector<Bytes>& blocks) {
     metrics_.blocks_received.Inc();
     const chain::BlockHash h = block->hash();
     if (host_->HasBlock(h)) continue;  // already stored or quarantined
-    stash_.emplace(h, *std::move(block));
+    const auto [it, inserted] = stash_.emplace(h, *std::move(block));
+    if (inserted) fresh.push_back(&it->second);
   }
+  // Overlap the level's signature checks with the serial merge below
+  // (and with the radio RTT for the next escalation level).
+  if (!fresh.empty()) host_->PreverifyBlocks(fresh);
   return Status::Ok();
 }
 
@@ -505,6 +510,14 @@ Status ResponderSession::HandlePushBlocks(ByteSpan data) {
     if (!host_->dag().Contains(block->hash())) {
       pending.push_back(*std::move(block));
     }
+  }
+  {
+    // Same pipelining as the initiator stash: signature checks fan
+    // out while the serial fixpoint merge runs.
+    std::vector<const chain::Block*> fresh;
+    fresh.reserve(pending.size());
+    for (const chain::Block& block : pending) fresh.push_back(&block);
+    if (!fresh.empty()) host_->PreverifyBlocks(fresh);
   }
   bool progress = true;
   while (progress && !pending.empty()) {

@@ -59,6 +59,17 @@ class ReconHost {
   // from it once, at construction. May be null (uninstrumented host):
   // the handles then degrade to no-ops.
   virtual telemetry::Telemetry* telemetry() const { return nullptr; }
+
+  // Pipelined-ingest hook: a session hands every fetched-level block
+  // here the moment it lands, so the host can fan the stateless
+  // signature checks across its execution pool while the serial merge
+  // (and the radio round-trip for the next level) proceeds. Results
+  // are consumed later by validation; the default host does nothing
+  // and validation verifies synchronously.
+  virtual void PreverifyBlocks(
+      const std::vector<const chain::Block*>& blocks) {
+    (void)blocks;
+  }
 };
 
 struct ReconConfig {

@@ -36,6 +36,13 @@ inline constexpr std::string_view kCounters[] = {
     "csm.applied_txns",
     "csm.duplicate_creates",
     "csm.rejected_txns",
+    // ---- parallel execution engine (src/exec) -----------------------
+    "exec.batch_jobs",
+    "exec.batches",
+    "exec.presig_hits",
+    "exec.presig_misses",
+    "exec.steals",
+    "exec.tasks_executed",
     // ---- fault injector (src/sim/faults) ----------------------------
     "fault.bytes_truncated",
     "fault.crashes",
@@ -119,11 +126,14 @@ inline constexpr std::string_view kCounters[] = {
 };
 
 inline constexpr std::string_view kGauges[] = {
+    "exec.pool_utilization",
+    "exec.threads",
     "node.quarantine_size",
     "support.stored_bytes",
 };
 
 inline constexpr std::string_view kHistograms[] = {
+    "exec.batch_size",
     "net.message_bytes",
     "recon.initiator.final_level",
     "recon.responder.final_level",

@@ -19,8 +19,7 @@ void Histogram::Observe(double v) {
 Counter MetricsRegistry::GetCounter(const std::string& name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return Counter(it->second);
-  counter_cells_.push_back(0);
-  std::uint64_t* cell = &counter_cells_.back();
+  std::atomic<std::uint64_t>* cell = &counter_cells_.emplace_back(0);
   counters_.emplace(name, cell);
   return Counter(cell);
 }
@@ -28,8 +27,7 @@ Counter MetricsRegistry::GetCounter(const std::string& name) {
 Gauge MetricsRegistry::GetGauge(const std::string& name) {
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return Gauge(it->second);
-  gauge_cells_.push_back(0.0);
-  double* cell = &gauge_cells_.back();
+  std::atomic<double>* cell = &gauge_cells_.emplace_back(0.0);
   gauges_.emplace(name, cell);
   return Gauge(cell);
 }
@@ -50,18 +48,26 @@ Histogram MetricsRegistry::GetHistogram(const std::string& name,
 
 std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : *it->second;
+  return it == counters_.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
   const auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0.0 : *it->second;
+  return it == gauges_.end()
+             ? 0.0
+             : it->second->load(std::memory_order_relaxed);
 }
 
 Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snap;
-  for (const auto& [name, cell] : counters_) snap.counters[name] = *cell;
-  for (const auto& [name, cell] : gauges_) snap.gauges[name] = *cell;
+  for (const auto& [name, cell] : counters_) {
+    snap.counters[name] = cell->load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges[name] = cell->load(std::memory_order_relaxed);
+  }
   for (const auto& [name, cell] : histograms_) snap.histograms[name] = *cell;
   return snap;
 }

@@ -10,16 +10,23 @@
 //
 // Hot-path discipline: a metric is resolved to a handle ONCE
 // (`GetCounter` et al. allocate on first use); the handle is a bare
-// pointer into registry-owned storage, so an increment is one load,
-// one add, one store — no lookup, no allocation, no lock (the whole
-// system is single-threaded per simulation). Default-constructed
+// pointer into registry-owned storage, so an increment is one relaxed
+// atomic add — no lookup, no allocation, no lock. Default-constructed
 // handles are valid no-ops, so uninstrumented components cost a
 // predictable branch.
+//
+// Concurrency contract (DESIGN.md §12): counter/gauge cells are
+// atomics, so `Inc`/`Add`/`Set` are safe from exec-pool workers.
+// Registration (`Get*`) and histogram `Observe` are NOT thread-safe
+// and stay on the owning (serial) thread — handles are resolved in
+// constructors before any worker exists, and histograms are only
+// observed from the thread that submits work.
 //
 // Registries are per node; `Snapshot::Merge` aggregates across a
 // Cluster, `Snapshot::DiffSince` isolates a measurement window.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -34,33 +41,43 @@ class Counter {
  public:
   Counter() = default;
   void Inc(std::uint64_t n = 1) {
-    if (cell_ != nullptr) *cell_ += n;
+    if (cell_ != nullptr) cell_->fetch_add(n, std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return cell_ == nullptr ? 0 : *cell_; }
+  std::uint64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
   bool bound() const { return cell_ != nullptr; }
 
  private:
   friend class MetricsRegistry;
-  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
-  std::uint64_t* cell_ = nullptr;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
 };
 
 class Gauge {
  public:
   Gauge() = default;
   void Set(double v) {
-    if (cell_ != nullptr) *cell_ = v;
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
   }
+  // Read-modify-write via CAS: atomic<double> has no fetch_add on
+  // every toolchain this builds with.
   void Add(double d) {
-    if (cell_ != nullptr) *cell_ += d;
+    if (cell_ == nullptr) return;
+    double cur = cell_->load(std::memory_order_relaxed);
+    while (!cell_->compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
   }
-  double value() const { return cell_ == nullptr ? 0.0 : *cell_; }
+  double value() const {
+    return cell_ == nullptr ? 0.0 : cell_->load(std::memory_order_relaxed);
+  }
   bool bound() const { return cell_ != nullptr; }
 
  private:
   friend class MetricsRegistry;
-  explicit Gauge(double* cell) : cell_(cell) {}
-  double* cell_ = nullptr;
+  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
 };
 
 // Bucket counts for a histogram: `counts[i]` is the number of
@@ -139,10 +156,10 @@ class MetricsRegistry {
   Snapshot TakeSnapshot() const;
 
  private:
-  std::deque<std::uint64_t> counter_cells_;
-  std::map<std::string, std::uint64_t*> counters_;
-  std::deque<double> gauge_cells_;
-  std::map<std::string, double*> gauges_;
+  std::deque<std::atomic<std::uint64_t>> counter_cells_;
+  std::map<std::string, std::atomic<std::uint64_t>*> counters_;
+  std::deque<std::atomic<double>> gauge_cells_;
+  std::map<std::string, std::atomic<double>*> gauges_;
   std::deque<HistogramData> histogram_cells_;
   std::map<std::string, HistogramData*> histograms_;
 };

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "telemetry/bench_io.h"
@@ -381,6 +382,33 @@ TEST(BenchIoTest, WritesValidBenchFile) {
   EXPECT_NE(content.find("\"wall_seconds\": 1.25"), std::string::npos);
   EXPECT_NE(content.find("\"recon.initiator.sessions_completed\": 4"),
             std::string::npos);
+}
+
+// Counter and gauge cells are atomics so exec-pool workers can bump
+// them concurrently (DESIGN.md §12). Hammer one cell from many raw
+// threads and demand the exact sum — a torn or non-atomic increment
+// loses counts under contention.
+TEST(CounterTest, ConcurrentHammerSumsExactly) {
+  MetricsRegistry registry;
+  Counter counter = registry.GetCounter("hammer");
+  Gauge gauge = registry.GetGauge("hammer_gauge");
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &gauge] {
+      for (int i = 0; i < kIncs; ++i) {
+        counter.Inc();
+        gauge.Add(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.CounterValue("hammer"),
+            static_cast<std::uint64_t>(kThreads) * kIncs);
+  EXPECT_EQ(registry.GaugeValue("hammer_gauge"),
+            static_cast<double>(kThreads) * kIncs);
 }
 
 // --------------------------------------------------------------- telemetry

@@ -165,5 +165,67 @@ TEST(ValidationTest, RevocationNotInCausalPastDoesNotReject) {
   EXPECT_EQ(result.verdict, BlockVerdict::kValid) << result.status.ToString();
 }
 
+// --- batched pre-verification (DESIGN.md §12) ----------------------
+// Check 4 may consume a verdict from the BatchVerifier instead of
+// re-running Ed25519, but the verdict — and every counter — must be
+// identical either way.
+
+TEST(ValidationTest, PresigCachedVerdictAccepted) {
+  Fixture f;
+  const Block b = f.MakeBlock({f.genesis.hash()}, 200, f.owner, "owner");
+  exec::BatchVerifier presig(nullptr, nullptr);
+  presig.Enqueue(MakeVerifyJobs({&b}, f.membership));
+  EXPECT_TRUE(presig.Cached(b.hash(), f.owner.public_key()));
+  const auto result =
+      ValidateBlock(b, f.dag, f.membership, 1'000, {}, &presig);
+  EXPECT_EQ(result.verdict, BlockVerdict::kValid) << result.status.ToString();
+}
+
+TEST(ValidationTest, PresigCachedForgeryStillRejected) {
+  Fixture f;
+  f.EnrollAlice();
+  // Signed with the wrong key: pre-verification computes `false`, and
+  // consuming that cached verdict must reject like the sync path.
+  const Block forged = f.MakeBlock({f.genesis.hash()}, 200, TestKeys(9),
+                                   "alice");
+  exec::BatchVerifier presig(nullptr, nullptr);
+  presig.Enqueue(MakeVerifyJobs({&forged}, f.membership));
+  const auto result =
+      ValidateBlock(forged, f.dag, f.membership, 1'000, {}, &presig);
+  EXPECT_EQ(result.verdict, BlockVerdict::kReject);
+}
+
+TEST(ValidationTest, PresigKeyMismatchFallsBackToSyncVerify) {
+  Fixture f;
+  const Block b = f.MakeBlock({f.genesis.hash()}, 200, f.owner, "owner");
+  // An entry verified under a different key (stale enrolment) must be
+  // ignored; the synchronous fallback still accepts the block.
+  exec::BatchVerifier presig(nullptr, nullptr);
+  exec::VerifyJob stale;
+  stale.id = b.hash();
+  stale.key = TestKeys(9).public_key();
+  stale.message = b.SigningPayload();
+  stale.signature = b.signature();
+  presig.Enqueue({stale});
+  const auto result =
+      ValidateBlock(b, f.dag, f.membership, 1'000, {}, &presig);
+  EXPECT_EQ(result.verdict, BlockVerdict::kValid) << result.status.ToString();
+}
+
+TEST(ValidationTest, MakeVerifyJobsSkipsUnknownCreatorsAndCachedBlocks) {
+  Fixture f;
+  const Block known = f.MakeBlock({f.genesis.hash()}, 200, f.owner, "owner");
+  // alice is not enrolled: no certificate, so no job to build.
+  const Block unknown = f.MakeBlock({f.genesis.hash()}, 300, f.alice, "alice");
+  exec::BatchVerifier presig(nullptr, nullptr);
+  const auto jobs = MakeVerifyJobs({&known, &unknown}, f.membership, &presig);
+  ASSERT_EQ(jobs.size(), 1U);
+  EXPECT_EQ(jobs[0].id, known.hash());
+  presig.Enqueue(jobs);
+  // A second sweep over the same stash builds nothing new.
+  EXPECT_TRUE(
+      MakeVerifyJobs({&known, &unknown}, f.membership, &presig).empty());
+}
+
 }  // namespace
 }  // namespace vegvisir::chain

@@ -1,21 +1,33 @@
-// Determinism checker: runs the chaos-storm cluster twice under the
-// same seed and diffs everything observable — per-node DAG frontier
-// digests, per-node state fingerprints and the full aggregated metric
-// snapshot (as its canonical JSON rendering).
+// Determinism checker: runs the chaos-storm cluster under the same
+// seed — twice serially, then once on the parallel execution engine —
+// and diffs everything observable: per-node DAG frontier digests,
+// per-node state fingerprints and the full aggregated metric snapshot
+// (as its canonical JSON rendering).
 //
 // The simulator's contract is that (seed, config) fully determines a
 // run: one event queue, one Rng tree, no wall clock. Any divergence
-// between the two runs means hidden nondeterminism crept in
+// between the two serial runs means hidden nondeterminism crept in
 // (unordered-container iteration leaking into behaviour, uninitialised
 // reads, wall-clock use outside src/sim/ — the custom linter bans the
-// latter statically, this tool catches the rest dynamically). CI runs
-// this on every push; it is also a ctest.
+// latter statically, this tool catches the rest dynamically). The
+// third leg re-runs the same storm at --threads workers (default 8)
+// and must match byte-for-byte too: DESIGN.md §12's claim that the
+// execution engine changes wall-clock time and nothing else.
+//
+// The only metrics allowed to differ are the pool's scheduling
+// internals, enumerated in an explicit exclusion file
+// (tools/determinism_exclude.txt) and scrubbed from every leg before
+// diffing. The file is mandatory — a missing waiver list fails the
+// check rather than silently widening it.
 //
 // Usage: determinism_check [--seed S] [--duration-ms D] [--nodes N]
+//                          [--threads T] [--exclude-file PATH]
 // Exit 0: byte-identical runs. Exit 1: divergence (diff on stdout).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -44,16 +56,56 @@ std::string HashHex(const chain::BlockHash& h) {
   return ToHex(ByteSpan(h.data(), h.size()));
 }
 
+// Loads the exclusion list: one exact metric name per line, '#'
+// comments. Exits if the file is unreadable — the waiver list is part
+// of the check's contract.
+std::set<std::string> LoadExclusions(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr,
+                 "cannot read exclusion file '%s' (pass --exclude-file)\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::set<std::string> names;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r' ||
+                             line.back() == '\t')) {
+      line.pop_back();
+    }
+    std::size_t start = 0;
+    while (start < line.size() && (line[start] == ' ' || line[start] == '\t')) {
+      ++start;
+    }
+    line.erase(0, start);
+    if (!line.empty()) names.insert(line);
+  }
+  return names;
+}
+
+void Scrub(telemetry::Snapshot* snap, const std::set<std::string>& excluded) {
+  for (const std::string& name : excluded) {
+    snap->counters.erase(name);
+    snap->gauges.erase(name);
+    snap->histograms.erase(name);
+  }
+}
+
 // The storm mirrors the chaos acceptance soak
 // (tests/chaos_test.cpp CombinedSoakReconvergesWithExactAccounting):
 // corruption, link flap and two crash-restart windows on a clique,
 // with CRDT writes landing mid-storm.
-RunResult RunOnce(std::uint64_t seed, sim::TimeMs duration_ms, int nodes) {
+RunResult RunOnce(std::uint64_t seed, sim::TimeMs duration_ms, int nodes,
+                  unsigned threads, const std::set<std::string>& excluded) {
   sim::ExplicitTopology topo(nodes);
   topo.MakeClique();
   node::ClusterConfig cfg;
   cfg.node_count = nodes;
   cfg.seed = seed;
+  cfg.exec.threads = threads;
   cfg.faults = sim::FaultPlan::Corruption(0.05);
   cfg.faults.Merge(sim::FaultPlan::LinkFlap(5'000, 0.2));
   if (nodes > 2) cfg.faults.Merge(sim::FaultPlan::CrashRestart(2, 40'000, 80'000));
@@ -86,22 +138,25 @@ RunResult RunOnce(std::uint64_t seed, sim::TimeMs duration_ms, int nodes) {
         HashHex(cluster.node(i).dag().FrontierDigest()));
     result.fingerprints.push_back(ToHex(cluster.node(i).Fingerprint()));
   }
-  result.metrics_json = telemetry::ToJson(cluster.AggregateSnapshot());
+  telemetry::Snapshot snap = cluster.AggregateSnapshot();
+  Scrub(&snap, excluded);
+  result.metrics_json = telemetry::ToJson(snap);
   return result;
 }
 
 // Reports every differing field; returns the number of differences.
-int Diff(const RunResult& a, const RunResult& b) {
+int Diff(const char* label, const RunResult& a, const RunResult& b) {
   int diffs = 0;
   for (std::size_t i = 0; i < a.frontiers.size(); ++i) {
     if (a.frontiers[i] != b.frontiers[i]) {
-      std::printf("DIVERGED node %zu frontier digest:\n  run1 %s\n  run2 %s\n",
-                  i, a.frontiers[i].c_str(), b.frontiers[i].c_str());
+      std::printf("DIVERGED [%s] node %zu frontier digest:\n  run1 %s\n  run2 %s\n",
+                  label, i, a.frontiers[i].c_str(), b.frontiers[i].c_str());
       ++diffs;
     }
     if (a.fingerprints[i] != b.fingerprints[i]) {
-      std::printf("DIVERGED node %zu state fingerprint:\n  run1 %s\n  run2 %s\n",
-                  i, a.fingerprints[i].c_str(), b.fingerprints[i].c_str());
+      std::printf(
+          "DIVERGED [%s] node %zu state fingerprint:\n  run1 %s\n  run2 %s\n",
+          label, i, a.fingerprints[i].c_str(), b.fingerprints[i].c_str());
       ++diffs;
     }
   }
@@ -114,9 +169,10 @@ int Diff(const RunResult& a, const RunResult& b) {
       ++at;
     }
     const std::size_t from = at < 40 ? 0 : at - 40;
-    std::printf("DIVERGED metric snapshots at byte %zu:\n  run1 ...%s\n  run2 ...%s\n",
-                at, a.metrics_json.substr(from, 80).c_str(),
-                b.metrics_json.substr(from, 80).c_str());
+    std::printf(
+        "DIVERGED [%s] metric snapshots at byte %zu:\n  run1 ...%s\n  run2 ...%s\n",
+        label, at, a.metrics_json.substr(from, 80).c_str(),
+        b.metrics_json.substr(from, 80).c_str());
     ++diffs;
   }
   return diffs;
@@ -128,6 +184,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 424'242;
   sim::TimeMs duration_ms = 240'000;
   int nodes = 8;
+  unsigned threads = 8;
+  std::string exclude_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -143,28 +201,47 @@ int main(int argc, char** argv) {
       duration_ms = static_cast<sim::TimeMs>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--nodes") {
       nodes = std::atoi(next());
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--exclude-file") {
+      exclude_file = next();
     } else {
       std::fprintf(stderr,
                    "usage: determinism_check [--seed S] [--duration-ms D] "
-                   "[--nodes N]\n");
+                   "[--nodes N] [--threads T] [--exclude-file PATH]\n");
       return 2;
     }
   }
-  if (nodes < 2 || duration_ms < 130'000) {
-    std::fprintf(stderr, "need --nodes >= 2 and --duration-ms >= 130000\n");
+  if (nodes < 2 || duration_ms < 130'000 || threads < 1) {
+    std::fprintf(stderr,
+                 "need --nodes >= 2, --duration-ms >= 130000, --threads >= 1\n");
     return 2;
   }
+  if (exclude_file.empty()) {
+    // Default for invocations from the repo root (CI) or from build/.
+    exclude_file = "tools/determinism_exclude.txt";
+    std::ifstream probe(exclude_file);
+    if (!probe) exclude_file = "../tools/determinism_exclude.txt";
+  }
+  const std::set<std::string> excluded = LoadExclusions(exclude_file);
 
-  const RunResult run1 = RunOnce(seed, duration_ms, nodes);
-  const RunResult run2 = RunOnce(seed, duration_ms, nodes);
-  const int diffs = Diff(run1, run2);
+  // Leg 1+2: the PR-3 guarantee — same seed, serial, byte-identical.
+  const RunResult serial1 = RunOnce(seed, duration_ms, nodes, 1, excluded);
+  const RunResult serial2 = RunOnce(seed, duration_ms, nodes, 1, excluded);
+  int diffs = Diff("same-seed serial", serial1, serial2);
+  // Leg 3: the PR-5 guarantee — the parallel engine must reproduce
+  // the serial run exactly (modulo the scrubbed pool internals).
+  const RunResult parallel =
+      RunOnce(seed, duration_ms, nodes, threads, excluded);
+  diffs += Diff("threads=1 vs threads=N", serial1, parallel);
   if (diffs == 0) {
     std::printf(
         "deterministic: %d nodes, seed %llu, %llu ms — frontiers, "
-        "fingerprints and %zu-byte metric snapshot identical across runs\n",
+        "fingerprints and %zu-byte metric snapshot identical across two "
+        "serial runs and a threads=%u run (%zu excluded metric(s))\n",
         nodes, static_cast<unsigned long long>(seed),
         static_cast<unsigned long long>(duration_ms),
-        run1.metrics_json.size());
+        serial1.metrics_json.size(), threads, excluded.size());
     return 0;
   }
   std::printf("%d divergence(s) between same-seed runs\n", diffs);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Custom invariant linter for the Vegvisir codebase.
 
-Five repo-specific invariants that clang-tidy cannot express:
+Six repo-specific invariants that clang-tidy cannot express:
 
   1. no-wall-clock: determinism depends on every timestamp and random
      draw flowing from the seeded simulator. Wall-clock and ambient-
@@ -38,6 +38,16 @@ Five repo-specific invariants that clang-tidy cannot express:
      suppressed in tools/analyzer/wire_taint_allow.txt (one reviewed
      file). Any `taint-expect` / NOLINT(...taint...) marker inside
      src/ is an error, even in a comment.
+
+  6. thread-containment: concurrency lives in src/exec/ and nowhere
+     else. `std::thread`/`std::jthread`/`std::async` and `.detach()`
+     are banned everywhere else under src/ (determinism depends on
+     the pool being the single scheduling authority; DESIGN.md §12).
+     Inside src/exec/, `std::async` and `.detach()` stay banned, and
+     every `std::thread` CONSTRUCTION must carry a
+     `// lint: thread-owner` annotation on one of the three preceding
+     lines — there is exactly one sanctioned site (the pool's worker
+     spawn loop).
 
 Allowlist: suppressions live HERE, in the tables below, one entry per
 line with a justification — never inline in the source (the lint CI
@@ -124,6 +134,36 @@ MAX_BARE_LITERAL = 8
 
 TAINT_SUPPRESSION = re.compile(
     r"taint-expect|wire-taint-allow|NOLINT\([^)]*taint")
+
+# thread-containment: directory allowed to own threads (trailing
+# slash). Everywhere else these constructs are banned outright; inside
+# it, std::thread construction needs a `// lint: thread-owner`
+# annotation and async/detach stay banned.
+THREAD_OWNER = "src/exec/"
+
+THREAD_API_BANNED = [
+    (re.compile(p), what)
+    for p, what in [
+        (r"\bstd::thread\b", "std::thread"),
+        (r"\bstd::jthread\b", "std::jthread"),
+        (r"\bstd::async\b", "std::async"),
+        (r"(\.|->)\s*detach\s*\(", ".detach()"),
+    ]
+]
+
+# Inside src/exec/: uninitialised members may mention std::thread, but
+# actually constructing one — `std::thread(...)`, `std::thread{...}`,
+# or a named declaration `std::thread t(...)` / `= ...` — requires the
+# annotation.
+THREAD_CONSTRUCTION = re.compile(r"\bstd::thread\s*(\w+\s*)?[({=]")
+
+THREAD_API_BANNED_IN_OWNER = [
+    (re.compile(p), what)
+    for p, what in [
+        (r"\bstd::async\b", "std::async"),
+        (r"(\.|->)\s*detach\s*\(", ".detach()"),
+    ]
+]
 
 
 def strip_code(text):
@@ -355,6 +395,40 @@ def check_literal_clamps(rel, stripped, findings):
                 )
 
 
+def check_thread_containment(rel, text, stripped, findings):
+    if not rel.startswith(THREAD_OWNER):
+        for regex, what in THREAD_API_BANNED:
+            for m in regex.finditer(stripped):
+                findings.append(
+                    (rel, line_of(stripped, m.start()), "thread-containment",
+                     f"{what} is banned outside {THREAD_OWNER}; submit work "
+                     "to exec::ThreadPool instead")
+                )
+        return
+    for regex, what in THREAD_API_BANNED_IN_OWNER:
+        for m in regex.finditer(stripped):
+            findings.append(
+                (rel, line_of(stripped, m.start()), "thread-containment",
+                 f"{what} is banned even in {THREAD_OWNER}; workers are "
+                 "joined std::threads owned by the pool")
+            )
+    raw_lines = text.splitlines()
+    for m in THREAD_CONSTRUCTION.finditer(stripped):
+        line = line_of(stripped, m.start())
+        annotated = any(
+            re.search(r"//\s*lint:\s*thread-owner\b", raw_lines[i])
+            for i in range(max(0, line - 4), line)
+            if i < len(raw_lines)
+        )
+        if not annotated:
+            findings.append(
+                (rel, line, "thread-containment",
+                 "std::thread construction without a "
+                 "`// lint: thread-owner` annotation on one of the three "
+                 "preceding lines")
+            )
+
+
 def check_taint_suppressions(rel, text, findings):
     # Scans RAW text: suppressions hide in comments by design.
     for m in TAINT_SUPPRESSION.finditer(text):
@@ -381,6 +455,7 @@ def main():
         check_metric_names(rel, text, stripped, tables, findings)
         check_decode_status(rel, stripped, findings)
         check_literal_clamps(rel, stripped, findings)
+        check_thread_containment(rel, text, stripped, findings)
         check_taint_suppressions(rel, text, findings)
     for rel, line, rule, message in sorted(findings):
         print(f"{rel}:{line}: {rule}: {message}")
