@@ -1,12 +1,9 @@
 #include "chain/store.h"
 
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-
 #include "crypto/sha256.h"
 #include "serial/codec.h"
 #include "serial/limits.h"
+#include "util/fsio.h"
 
 namespace vegvisir::chain {
 namespace {
@@ -129,33 +126,16 @@ StatusOr<Dag> DeserializeDag(ByteSpan data) {
 }
 
 Status SaveDagToFile(const Dag& dag, const std::string& path) {
-  const Bytes data = SerializeDag(dag);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return InternalError("cannot open " + tmp + " for writing");
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-    if (!out) return InternalError("short write to " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return InternalError("rename failed: " + ec.message());
-  }
-  return Status::Ok();
+  // Durable, not just atomic: a checkpoint that can evaporate on
+  // power loss is exactly what a flash-constrained device must not
+  // ship (DESIGN.md §13 spells out the fsync ordering).
+  return DurableWriteFile(path, SerializeDag(dag));
 }
 
 StatusOr<Dag> LoadDagFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return NotFoundError("cannot open " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  Bytes data(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(data.data()), size);
-  if (!in) return InternalError("short read from " + path);
-  return DeserializeDag(data);
+  auto data = ReadFileBytes(path);
+  if (!data.ok()) return data.status();
+  return DeserializeDag(*data);
 }
 
 }  // namespace vegvisir::chain

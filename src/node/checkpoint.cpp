@@ -1,33 +1,10 @@
 #include "node/checkpoint.h"
 
-#include <fstream>
-
 #include "chain/store.h"
+#include "storage/engine.h"
+#include "util/fsio.h"
 
 namespace vegvisir::node {
-namespace {
-
-Status WriteFile(const std::string& path, ByteSpan data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return InternalError("cannot open " + path);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  if (!out) return InternalError("short write to " + path);
-  return Status::Ok();
-}
-
-StatusOr<Bytes> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return NotFoundError("cannot open " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  Bytes data(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(data.data()), size);
-  if (!in) return InternalError("short read from " + path);
-  return data;
-}
-
-}  // namespace
 
 CheckpointImage CaptureCheckpoint(const Node& node) {
   CheckpointImage image;
@@ -49,7 +26,7 @@ StatusOr<std::unique_ptr<Node>> RestoreFromImage(NodeConfig config,
 Status SaveCheckpoint(const Node& node, const std::string& path_prefix) {
   VEGVISIR_RETURN_IF_ERROR(
       chain::SaveDagToFile(node.dag(), path_prefix + ".dag"));
-  return WriteFile(path_prefix + ".csm", node.state().SaveSnapshot());
+  return DurableWriteFile(path_prefix + ".csm", node.state().SaveSnapshot());
 }
 
 StatusOr<std::unique_ptr<Node>> LoadCheckpoint(NodeConfig config,
@@ -60,11 +37,26 @@ StatusOr<std::unique_ptr<Node>> LoadCheckpoint(NodeConfig config,
   if (!dag.ok()) return dag.status();
   // A missing/corrupted snapshot degrades to replay, not to failure.
   Bytes snapshot;
-  if (auto snap = ReadFile(path_prefix + ".csm"); snap.ok()) {
+  if (auto snap = ReadFileBytes(path_prefix + ".csm"); snap.ok()) {
     snapshot = *std::move(snap);
   }
   return Node::Restore(std::move(config), std::move(keys), *std::move(dag),
                        snapshot, used_snapshot);
+}
+
+StatusOr<std::unique_ptr<Node>> RecoverFromStorage(NodeConfig config,
+                                                   crypto::KeyPair keys,
+                                                   storage::TieredStore* store) {
+  auto dag = store->RecoverDag();
+  if (!dag.ok()) return dag.status();
+  // No snapshot on purpose: the log's replay order is deterministic,
+  // so replaying through the CSM reproduces the pre-crash state for
+  // every block that reached fsync — and only those.
+  auto node = Node::Restore(std::move(config), std::move(keys),
+                            *std::move(dag), ByteSpan());
+  if (!node.ok()) return node.status();
+  VEGVISIR_RETURN_IF_ERROR((*node)->AttachStorage(store));
+  return node;
 }
 
 }  // namespace vegvisir::node

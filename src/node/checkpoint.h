@@ -15,6 +15,10 @@
 #include "node/node.h"
 #include "util/status.h"
 
+namespace vegvisir::storage {
+class TieredStore;
+}
+
 namespace vegvisir::node {
 
 // The in-memory form of a device-flash checkpoint: the serialized
@@ -46,5 +50,15 @@ Status SaveCheckpoint(const Node& node, const std::string& path_prefix);
 StatusOr<std::unique_ptr<Node>> LoadCheckpoint(
     NodeConfig config, crypto::KeyPair keys, const std::string& path_prefix,
     bool* used_snapshot = nullptr);
+
+// Rebuilds a node from its durable block log (storage/engine.h): the
+// log is replayed into a fresh DAG and the CSM state is re-derived by
+// deterministic replay, then the store is re-attached so subsequent
+// blocks keep the write-ahead discipline. This is the crash-recovery
+// path a device with a TieredStore uses instead of LoadCheckpoint —
+// it recovers exactly the blocks that reached fsync before the crash.
+StatusOr<std::unique_ptr<Node>> RecoverFromStorage(NodeConfig config,
+                                                   crypto::KeyPair keys,
+                                                   storage::TieredStore* store);
 
 }  // namespace vegvisir::node

@@ -34,6 +34,16 @@ crypto::KeyPair Cluster::NodeKeys(int i) const {
   return (i == 0) ? owner_keys_ : KeysFor(config_.seed, i);
 }
 
+StatusOr<std::unique_ptr<storage::TieredStore>> Cluster::OpenStore(
+    int i) const {
+  storage::TieredStoreOptions opts;
+  opts.dir = config_.data_dir + "/node" + std::to_string(i);
+  opts.io_faults = config_.faults.io;
+  opts.io_seed = config_.seed * 31'337ULL + static_cast<std::uint64_t>(i);
+  opts.telemetry = telemetry_[static_cast<std::size_t>(i)].get();
+  return storage::TieredStore::Open(std::move(opts));
+}
+
 void Cluster::WireNode(Node* node, int i) {
   // All clocks follow simulated time, offset past the genesis
   // timestamp so submissions are always valid — plus whatever skew
@@ -86,12 +96,24 @@ Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
 
   checkpoints_.resize(static_cast<std::size_t>(config_.node_count));
   generation_.resize(static_cast<std::size_t>(config_.node_count), 0);
+  stores_.resize(static_cast<std::size_t>(config_.node_count));
 
   for (int i = 0; i < config_.node_count; ++i) {
     telemetry_.push_back(std::make_unique<telemetry::Telemetry>());
     auto node = std::make_unique<Node>(ConfigFor(i), genesis_, NodeKeys(i));
     meters_.push_back(std::make_unique<sim::EnergyMeter>(config_.energy));
     WireNode(node.get(), i);
+    if (!config_.data_dir.empty()) {
+      if (auto store = OpenStore(i); store.ok()) {
+        stores_[static_cast<std::size_t>(i)] = std::move(*store);
+        // A store that fails to attach (an unusable log) leaves the
+        // node RAM-only rather than aborting the whole cluster.
+        if (!node->AttachStorage(stores_[static_cast<std::size_t>(i)].get())
+                 .ok()) {
+          stores_[static_cast<std::size_t>(i)].reset();
+        }
+      }
+    }
     if (!IsAdversary(i)) honest_.push_back(i);
     nodes_.push_back(std::move(node));
   }
@@ -130,13 +152,22 @@ Cluster::Cluster(ClusterConfig config, const sim::Topology* topology)
 void Cluster::CrashNode(int i) {
   const auto idx = static_cast<std::size_t>(i);
   if (nodes_[idx] == nullptr) return;  // already down
-  // What had reached flash survives the crash; everything else —
-  // sessions, quarantine, in-flight messages — is lost.
-  checkpoints_[idx] = CaptureCheckpoint(*nodes_[idx]);
+  if (stores_[idx] != nullptr) {
+    // With durable storage the crash is honest: no checkpoint capture
+    // (a real power cut gets no farewell write), and the store is
+    // simply dropped — its destructor persists nothing, so restart
+    // sees exactly what fsync left behind and recovers by log replay.
+    checkpoints_[idx] = CheckpointImage{};
+  } else {
+    // What had reached flash survives the crash; everything else —
+    // sessions, quarantine, in-flight messages — is lost.
+    checkpoints_[idx] = CaptureCheckpoint(*nodes_[idx]);
+  }
   gossips_[idx]->Shutdown();
   retired_gossips_.push_back(std::move(gossips_[idx]));
   network_->Deregister(i);
   nodes_[idx].reset();
+  stores_[idx].reset();
   c_crashes_.Inc();
 }
 
@@ -144,15 +175,38 @@ bool Cluster::RestartNode(int i) {
   const auto idx = static_cast<std::size_t>(i);
   if (nodes_[idx] != nullptr) return true;
   bool used_snapshot = false;
-  auto restored = RestoreFromImage(ConfigFor(i), NodeKeys(i),
-                                   checkpoints_[idx], &used_snapshot);
   std::unique_ptr<Node> node;
-  if (restored.ok()) {
-    node = std::move(*restored);
+  if (!config_.data_dir.empty()) {
+    // Durable path: reopen the store (recovery truncates any torn
+    // tail) and rebuild the node from the log. No snapshot is ever
+    // adopted here — the CSM re-derives by deterministic replay.
+    if (auto store = OpenStore(i); store.ok()) {
+      if (auto recovered =
+              RecoverFromStorage(ConfigFor(i), NodeKeys(i), store->get());
+          recovered.ok()) {
+        node = std::move(*recovered);
+        stores_[idx] = std::move(*store);
+      } else {
+        // Empty or unusable log: rejoin from genesis, keeping the
+        // store attached so the fresh history is logged from here on.
+        node = std::make_unique<Node>(ConfigFor(i), genesis_, NodeKeys(i));
+        if (node->AttachStorage(store->get()).ok()) {
+          stores_[idx] = std::move(*store);
+        }
+      }
+    } else {
+      node = std::make_unique<Node>(ConfigFor(i), genesis_, NodeKeys(i));
+    }
   } else {
-    // Unreadable flash image: rejoin from genesis and let gossip
-    // re-fetch history (the cold-start path).
-    node = std::make_unique<Node>(ConfigFor(i), genesis_, NodeKeys(i));
+    auto restored = RestoreFromImage(ConfigFor(i), NodeKeys(i),
+                                     checkpoints_[idx], &used_snapshot);
+    if (restored.ok()) {
+      node = std::move(*restored);
+    } else {
+      // Unreadable flash image: rejoin from genesis and let gossip
+      // re-fetch history (the cold-start path).
+      node = std::make_unique<Node>(ConfigFor(i), genesis_, NodeKeys(i));
+    }
   }
   WireNode(node.get(), i);
   nodes_[idx] = std::move(node);

@@ -18,6 +18,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
+#include "storage/engine.h"
 #include "telemetry/telemetry.h"
 
 namespace vegvisir::node {
@@ -43,6 +44,15 @@ struct ClusterConfig {
   // (DESIGN.md §12). Defaults to VEGVISIR_THREADS (serial when
   // unset); every observable result is identical for any setting.
   exec::ExecConfig exec = exec::ExecConfig::FromEnv();
+  // Root of the durable storage tree (DESIGN.md §13). Empty (the
+  // default) runs every node RAM-only, exactly as before storage
+  // existed. Non-empty gives node i a TieredStore at
+  // `<data_dir>/node<i>`: blocks are write-ahead logged before the
+  // DAG acks them, crashes discard the in-memory checkpoint image and
+  // restarts recover by log replay instead (losing nothing fsync'd),
+  // and the fault plan's io faults are injected into the log's
+  // writes. The directory must exist.
+  std::string data_dir;
 };
 
 class Cluster {
@@ -91,6 +101,12 @@ class Cluster {
   // and clock skew; scheduled crash events still fire.
   sim::FaultInjector* fault_injector() { return injector_.get(); }
 
+  // Node i's durable store (null when data_dir is empty or node i is
+  // currently crashed — a crash closes the store crash-equivalently).
+  storage::TieredStore* store(int i) {
+    return stores_[static_cast<std::size_t>(i)].get();
+  }
+
   // How many nodes hold the given block (crashed nodes count as not
   // holding it).
   int CountHaving(const chain::BlockHash& h) const;
@@ -121,6 +137,8 @@ class Cluster {
   bool IsAdversary(int i) const;
   NodeConfig ConfigFor(int i) const;
   crypto::KeyPair NodeKeys(int i) const;
+  // (Re)opens node i's TieredStore; recovery runs inside Open.
+  StatusOr<std::unique_ptr<storage::TieredStore>> OpenStore(int i) const;
   void WireNode(Node* node, int i);  // clock (with fault skew) + meter
   std::unique_ptr<GossipEngine> BuildEngine(int i);
 
@@ -136,6 +154,9 @@ class Cluster {
   std::unique_ptr<sim::Network> network_;
   crypto::KeyPair owner_keys_;
   chain::Block genesis_;  // kept for fresh-rejoin fallback
+  // Declared before nodes_: nodes hold raw pointers into their
+  // stores, so the stores must be destroyed after them.
+  std::vector<std::unique_ptr<storage::TieredStore>> stores_;
   std::vector<std::unique_ptr<Node>> nodes_;  // null while crashed
   std::vector<std::unique_ptr<GossipEngine>> gossips_;
   // Shut-down engines from crashed incarnations. Pending simulator

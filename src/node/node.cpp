@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "serial/codec.h"
+#include "storage/engine.h"
 
 namespace vegvisir::node {
 
@@ -78,6 +79,30 @@ StatusOr<std::unique_ptr<Node>> Node::Restore(NodeConfig config,
   node->dag_ = std::move(dag);
   if (used_snapshot != nullptr) *used_snapshot = snapshot_ok;
   return node;
+}
+
+Status Node::AttachStorage(storage::TieredStore* store) {
+  if (store == nullptr) {
+    storage_ = nullptr;
+    return Status::Ok();
+  }
+  if (store->log().record_count() == 0) {
+    // Fresh log under an existing DAG (first attach, or a node built
+    // from a checkpoint image): seed it so the log's replay covers
+    // everything the node already acked. Topological order keeps the
+    // parents-before-children invariant RecoverDag relies on.
+    for (const chain::BlockHash& h : dag_.TopologicalOrder()) {
+      const chain::Block* block = dag_.Find(h);
+      if (block == nullptr) {
+        return FailedPreconditionError(
+            "cannot bootstrap storage: block body evicted");
+      }
+      VEGVISIR_RETURN_IF_ERROR(store->Append(*block));
+    }
+  }
+  storage_ = store;
+  storage_->UpdateResidency(dag_);
+  return Status::Ok();
 }
 
 void Node::SetClock(std::function<std::uint64_t()> clock) {
@@ -185,21 +210,20 @@ chain::BlockVerdict Node::AdmitBlock(const chain::Block& block) {
                               static_cast<std::uint64_t>(result.verdict));
   switch (result.verdict) {
     case chain::BlockVerdict::kValid: {
+      // Write-ahead: the block must be durable before the DAG (and the
+      // CSM behind it) acks it. A transient persist failure (ENOSPC,
+      // injected torn write) parks the block instead of losing it.
+      if (!PersistBlock(block)) {
+        Park(block);
+        return chain::BlockVerdict::kRetryLater;
+      }
       const Status s = dag_.Insert(block);
       if (!s.ok()) return chain::BlockVerdict::kReject;  // cannot happen
       csm_.ApplyBlock(block);
       return chain::BlockVerdict::kValid;
     }
     case chain::BlockVerdict::kRetryLater: {
-      if (quarantine_.size() >= config_.quarantine_cap) {
-        presig_.Forget(quarantine_.begin()->first);
-        quarantine_.erase(quarantine_.begin());
-      }
-      if (quarantine_.emplace(block.hash(), QuarantineEntry{block, NowMs()})
-              .second) {
-        c_blocks_quarantined_.Inc();
-      }
-      g_quarantine_size_.Set(static_cast<double>(quarantine_.size()));
+      Park(block);
       return chain::BlockVerdict::kRetryLater;
     }
     case chain::BlockVerdict::kReject:
@@ -207,6 +231,23 @@ chain::BlockVerdict Node::AdmitBlock(const chain::Block& block) {
       return chain::BlockVerdict::kReject;
   }
   return chain::BlockVerdict::kReject;
+}
+
+bool Node::PersistBlock(const chain::Block& block) {
+  if (storage_ == nullptr) return true;
+  return storage_->Append(block).ok();
+}
+
+void Node::Park(const chain::Block& block) {
+  if (quarantine_.size() >= config_.quarantine_cap) {
+    presig_.Forget(quarantine_.begin()->first);
+    quarantine_.erase(quarantine_.begin());
+  }
+  if (quarantine_.emplace(block.hash(), QuarantineEntry{block, NowMs()})
+          .second) {
+    c_blocks_quarantined_.Inc();
+  }
+  g_quarantine_size_.Set(static_cast<double>(quarantine_.size()));
 }
 
 chain::BlockVerdict Node::OfferBlock(const chain::Block& block) {
@@ -267,6 +308,12 @@ void Node::RetryQuarantine() {
           chain::ValidateBlock(block, dag_, csm_.membership(), NowMs(),
                                config_.validation, &presig_);
       if (result.verdict == chain::BlockVerdict::kValid) {
+        // Same write-ahead gate as AdmitBlock: an unpersistable block
+        // stays parked (its TTL still ticks) until storage recovers.
+        if (!PersistBlock(block)) {
+          ++it;
+          continue;
+        }
         if (dag_.Insert(block).ok()) {
           csm_.ApplyBlock(block);
           c_blocks_accepted_.Inc();

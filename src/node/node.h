@@ -38,6 +38,10 @@
 #include "telemetry/telemetry.h"
 #include "util/status.h"
 
+namespace vegvisir::storage {
+class TieredStore;
+}  // namespace vegvisir::storage
+
 namespace vegvisir::node {
 
 struct NodeConfig {
@@ -188,10 +192,26 @@ class Node final : public recon::ReconHost {
   // verification and hashing to the meter.
   void AttachEnergyMeter(sim::EnergyMeter* meter) { meter_ = meter; }
 
+  // Optional durable storage (storage/engine.h). Once attached, every
+  // block is appended (and fsync'd, per the store's options) to the
+  // block log BEFORE it is inserted into the DAG — the write-ahead
+  // discipline that makes crash recovery lossless for acked blocks. A
+  // block whose persist fails is parked in quarantine rather than
+  // acked. If the store's log is empty, the DAG's current contents
+  // are bootstrapped into it first (requires every body present).
+  // Pass nullptr to detach. The store must outlive the node.
+  Status AttachStorage(storage::TieredStore* store);
+  storage::TieredStore* storage() const { return storage_; }
+
  private:
   // Validates + inserts + applies; assumes parents are present.
   chain::BlockVerdict AdmitBlock(const chain::Block& block);
   Status PrecheckTransactions(const std::vector<chain::Transaction>& txns) const;
+  // Write-ahead hook: true when the block is durable (or no storage
+  // is attached) and may be acked into the DAG.
+  bool PersistBlock(const chain::Block& block);
+  // Parks a block in quarantine (evicting the oldest past the cap).
+  void Park(const chain::Block& block);
 
   NodeConfig config_;
   crypto::KeyPair keys_;
@@ -221,6 +241,7 @@ class Node final : public recon::ReconHost {
   };
   std::map<chain::BlockHash, QuarantineEntry> quarantine_;
   sim::EnergyMeter* meter_ = nullptr;
+  storage::TieredStore* storage_ = nullptr;
 };
 
 }  // namespace vegvisir::node

@@ -60,6 +60,18 @@ inline constexpr std::uint64_t kMaxStoreBlocks = 1u << 18;
 // the message limits above, so a larger claim is corruption.
 inline constexpr std::uint64_t kMaxStubEncodedBytes = 1u << 24;
 
+// --- durable block log (storage/) ----------------------------------
+// Payload bytes per log record (one canonically serialized block); a
+// real block is already bounded by the wire limits above, so a length
+// field claiming more is corruption, and recovery truncates there.
+inline constexpr std::uint64_t kMaxLogRecordBytes = 1u << 22;
+// Records per log segment. The appender rolls segments well before
+// this (storage::kSegmentTargetBytes), so a segment claiming more is
+// corrupt and recovery stops at the cap.
+inline constexpr std::uint64_t kMaxSegmentRecords = 1u << 16;
+// Entries per persisted index file (storage/index.h).
+inline constexpr std::uint64_t kMaxIndexEntries = 1u << 18;
+
 // --- membership & CSM snapshots (csm/) -----------------------------
 inline constexpr std::uint64_t kMaxMembers = 1u << 16;
 inline constexpr std::uint64_t kMaxRevocationBlocks = 1u << 12;

@@ -21,11 +21,52 @@ std::uint64_t LinkWindowHash(std::uint64_t seed, NodeId a, NodeId b,
 
 }  // namespace
 
+bool IoFaultPlan::Empty() const {
+  return short_write_probability == 0.0 && torn_record_probability == 0.0 &&
+         enospc_after_bytes == 0;
+}
+
+IoFaultPlan& IoFaultPlan::Merge(const IoFaultPlan& other) {
+  short_write_probability =
+      StrongerP(short_write_probability, other.short_write_probability);
+  torn_record_probability =
+      StrongerP(torn_record_probability, other.torn_record_probability);
+  if (other.enospc_after_bytes != 0) {
+    enospc_after_bytes =
+        enospc_after_bytes == 0
+            ? other.enospc_after_bytes
+            : std::min(enospc_after_bytes, other.enospc_after_bytes);
+  }
+  min_appends = std::max(min_appends, other.min_appends);
+  return *this;
+}
+
+IoFaultPlan IoFaultPlan::ShortWrite(double p, std::uint64_t min_appends) {
+  IoFaultPlan plan;
+  plan.short_write_probability = p;
+  plan.min_appends = min_appends;
+  return plan;
+}
+
+IoFaultPlan IoFaultPlan::TornRecord(double p, std::uint64_t min_appends) {
+  IoFaultPlan plan;
+  plan.torn_record_probability = p;
+  plan.min_appends = min_appends;
+  return plan;
+}
+
+IoFaultPlan IoFaultPlan::Enospc(std::uint64_t after_bytes) {
+  IoFaultPlan plan;
+  plan.enospc_after_bytes = after_bytes;
+  return plan;
+}
+
 bool FaultPlan::Empty() const {
   return corrupt_probability == 0.0 && truncate_probability == 0.0 &&
          duplicate_probability == 0.0 && drop_probability == 0.0 &&
          delay_probability == 0.0 && flap_period_ms == 0 &&
-         clock_skew_max_ms == 0 && clock_skew_ms.empty() && crashes.empty();
+         clock_skew_max_ms == 0 && clock_skew_ms.empty() && crashes.empty() &&
+         io.Empty();
 }
 
 FaultPlan& FaultPlan::Merge(const FaultPlan& other) {
@@ -49,6 +90,7 @@ FaultPlan& FaultPlan::Merge(const FaultPlan& other) {
     clock_skew_ms[node] = skew;
   }
   crashes.insert(crashes.end(), other.crashes.begin(), other.crashes.end());
+  io.Merge(other.io);
   if (active_until_ms != 0 || other.active_until_ms != 0) {
     active_until_ms = std::max(active_until_ms, other.active_until_ms);
   }
@@ -103,6 +145,12 @@ FaultPlan FaultPlan::CrashRestart(NodeId node, TimeMs crash_at_ms,
                                   TimeMs restart_at_ms) {
   FaultPlan plan;
   plan.crashes.push_back({node, crash_at_ms, restart_at_ms});
+  return plan;
+}
+
+FaultPlan FaultPlan::Io(IoFaultPlan io_plan) {
+  FaultPlan plan;
+  plan.io = io_plan;
   return plan;
 }
 

@@ -31,6 +31,34 @@
 
 namespace vegvisir::sim {
 
+// Storage I/O faults, consumed by storage::FileIo (the engine's
+// single syscall choke point). Plain data here so the sim layer
+// stays free of storage dependencies; determinism comes from the
+// seed the consumer mixes in. Each log append rolls independently
+// once `min_appends` clean appends have gone through (lets a
+// scenario bootstrap before the disk turns hostile).
+struct IoFaultPlan {
+  // A prefix of the record's payload reaches the disk, then the
+  // write fails — the mid-payload power-loss shape.
+  double short_write_probability = 0.0;
+  // The cut lands inside the record header itself, leaving a tail
+  // recovery cannot even size — the torn-record shape.
+  double torn_record_probability = 0.0;
+  // Total bytes the fake disk accepts before refusing with ENOSPC
+  // (nothing written). 0 = unlimited.
+  std::uint64_t enospc_after_bytes = 0;
+  std::uint64_t min_appends = 0;
+
+  bool Empty() const;
+  // Probabilities take the stronger value; the byte budget takes the
+  // tighter nonzero one; min_appends takes the later gate.
+  IoFaultPlan& Merge(const IoFaultPlan& other);
+
+  static IoFaultPlan ShortWrite(double p, std::uint64_t min_appends = 0);
+  static IoFaultPlan TornRecord(double p, std::uint64_t min_appends = 0);
+  static IoFaultPlan Enospc(std::uint64_t after_bytes);
+};
+
 // A composable description of what to break. Defaults are all-off;
 // combine the preset factories with Merge:
 //
@@ -75,6 +103,13 @@ struct FaultPlan {
   };
   std::vector<CrashEvent> crashes;
 
+  // ---- storage I/O --------------------------------------------------
+  // Applied by every storage::FileIo a Cluster builds (per-node seed
+  // derived from the cluster seed). Unlike message faults these are
+  // not gated by active_until_ms: a bad flash chip does not heal on a
+  // schedule.
+  IoFaultPlan io;
+
   // Message/link/clock faults apply only before this sim time
   // (0 = forever). Chaos tests use it to assert recovery after the
   // faults cease.
@@ -98,6 +133,7 @@ struct FaultPlan {
   static FaultPlan ClockSkew(std::int64_t max_ms);
   static FaultPlan CrashRestart(NodeId node, TimeMs crash_at_ms,
                                 TimeMs restart_at_ms);
+  static FaultPlan Io(IoFaultPlan io_plan);
 };
 
 // Assembled on demand from the fault.* series (see stats()).

@@ -1,0 +1,126 @@
+// TieredStore: the durable block storage engine (DESIGN.md §13).
+//
+// Owns the append-only block log (storage/log.h) and the mmap'd
+// hash→offset index (storage/index.h) behind the existing store/DAG
+// interface: the Dag, reconciliation and checkpointing stay consumers
+// of block bytes rather than owners. Three promises:
+//
+//   1. Write-ahead: Append() returns OK only after the serialized
+//      block (and, unless configured off, an fsync) hit the log —
+//      the node acks a block into its DAG only after that, so a
+//      crash at any instant loses nothing that was acked.
+//   2. Crash recovery: RecoverDag() replays the log (append order ==
+//      DAG insert order, thanks to promise 1) into a fresh DAG; the
+//      CSM re-derives by deterministic replay (node/checkpoint.h's
+//      RecoverFromStorage).
+//   3. Hot/cold tiering: the support-chain offload promoted to a
+//      local cold tier — MigrateCold() evicts the oldest topological
+//      prefix's bodies from RAM (the log keeps the bytes; the DAG
+//      keeps stubs) and FetchCold() reads one back on demand, so the
+//      RAM high-water of a long chain is the hot working set, not
+//      the chain.
+//
+// Durability of the index is explicit (SyncIndex) and never happens
+// in a destructor: tearing the engine down is deliberately
+// crash-equivalent, and reopen rebuilds whatever the index misses.
+// Every series lands under storage.* in the supplied telemetry
+// bundle (or a private one when none is given).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "chain/block.h"
+#include "chain/dag.h"
+#include "sim/faults.h"
+#include "storage/index.h"
+#include "storage/log.h"
+#include "telemetry/telemetry.h"
+#include "util/status.h"
+
+namespace vegvisir::storage {
+
+struct TieredStoreOptions {
+  // Directory holding segments + index; created if missing. Apps
+  // conventionally derive it from VEGVISIR_DATA_DIR (DataDirFromEnv).
+  std::string dir;
+  // fsync after every append (the WAL discipline). Turning it off
+  // batches durability into explicit Sync points — benchmarks use it
+  // to separate write cost from fsync cost.
+  bool fsync_each_append = true;
+  sim::IoFaultPlan io_faults;
+  std::uint64_t io_seed = 0;
+  telemetry::Telemetry* telemetry = nullptr;  // null → private bundle
+};
+
+class TieredStore {
+ public:
+  // Opens the store: recovers the log (truncating any torn tail),
+  // loads the index, and re-indexes whatever the log holds beyond
+  // the index's coverage (all of it, if the index was missing or
+  // unusable — counted under storage.index.rebuilds).
+  static StatusOr<std::unique_ptr<TieredStore>> Open(TieredStoreOptions opts);
+
+  TieredStore(const TieredStore&) = delete;
+  TieredStore& operator=(const TieredStore&) = delete;
+
+  // Write-ahead append of one block. Idempotent for a block already
+  // in the log. The caller may ack the block only after OK.
+  Status Append(const chain::Block& block);
+
+  bool Contains(const chain::BlockHash& hash) const;
+
+  // Reads a block back from the log via the index (CRC re-verified,
+  // hash checked). Works for hot and cold blocks alike.
+  StatusOr<chain::Block> Fetch(const chain::BlockHash& hash) const;
+
+  // Evicts bodies of the oldest topological prefix from the DAG until
+  // at most `keep_hot` stored bodies remain. Genesis and frontier
+  // blocks never migrate (Dag::Evict's rules) and neither does any
+  // block the log does not durably hold. Returns blocks migrated.
+  std::size_t MigrateCold(chain::Dag* dag, std::size_t keep_hot);
+
+  // On-demand re-read: restores one evicted block's body into the DAG.
+  Status FetchCold(chain::Dag* dag, const chain::BlockHash& hash);
+
+  // Crash recovery: replays the whole log into a fresh DAG. The first
+  // record must be the genesis block.
+  StatusOr<chain::Dag> RecoverDag();
+
+  // Durably persists the index (log synced first, so the index never
+  // covers bytes that could still vanish).
+  Status SyncIndex();
+
+  // Refreshes the hot/cold residency gauges from the DAG.
+  void UpdateResidency(const chain::Dag& dag);
+
+  const BlockLog& log() const { return *log_; }
+  const BlockIndex& index() const { return *index_; }
+  std::string index_path() const;
+  telemetry::Telemetry* telemetry() const { return telem_; }
+
+ private:
+  explicit TieredStore(TieredStoreOptions opts);
+
+  TieredStoreOptions opts_;
+  std::unique_ptr<telemetry::Telemetry> owned_telem_;
+  telemetry::Telemetry* telem_ = nullptr;
+  std::unique_ptr<BlockIndex> index_;
+  std::unique_ptr<BlockLog> log_;
+  telemetry::Counter c_append_failures_;
+  telemetry::Counter c_cold_migrations_;
+  // Mutable: Fetch is logically const but still counts its reads.
+  mutable telemetry::Counter c_cold_reads_;
+  mutable telemetry::Counter c_cold_read_bytes_;
+  telemetry::Counter c_index_rebuilds_;
+  telemetry::Gauge g_hot_blocks_;
+  telemetry::Gauge g_cold_blocks_;
+  telemetry::Gauge g_hot_bytes_;
+};
+
+// The conventional data root: $VEGVISIR_DATA_DIR, or "" when unset
+// (callers treat empty as "run RAM-only").
+std::string DataDirFromEnv();
+
+}  // namespace vegvisir::storage

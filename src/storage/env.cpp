@@ -1,0 +1,78 @@
+#include "storage/env.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/format.h"
+
+namespace vegvisir::storage {
+namespace {
+
+Status WriteAll(int fd, ByteSpan data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+FileIo::FileIo(sim::IoFaultPlan plan, std::uint64_t seed,
+               telemetry::Telemetry* telemetry)
+    : plan_(plan),
+      rng_(seed),
+      c_short_writes_(
+          telemetry->metrics.GetCounter("storage.faults.short_writes")),
+      c_torn_records_(
+          telemetry->metrics.GetCounter("storage.faults.torn_records")),
+      c_enospc_(telemetry->metrics.GetCounter("storage.faults.enospc")),
+      c_fsyncs_(telemetry->metrics.GetCounter("storage.fsyncs")) {}
+
+Status FileIo::AppendRecord(int fd, ByteSpan record) {
+  appends_ += 1;
+  const bool armed = !plan_.Empty() && appends_ > plan_.min_appends;
+  if (armed && plan_.enospc_after_bytes != 0 &&
+      bytes_written_ + record.size() > plan_.enospc_after_bytes) {
+    c_enospc_.Inc();
+    return ResourceExhaustedError("no space left on device (injected)");
+  }
+  // Both injected failures write a deterministic prefix and then fail
+  // — the torn cut lands inside the record header, the short write
+  // halfway through the payload.
+  std::size_t keep = record.size();
+  Status injected = Status::Ok();
+  if (armed && rng_.NextBool(plan_.torn_record_probability)) {
+    keep = std::min(record.size(), kRecordHeaderBytes / 2);
+    c_torn_records_.Inc();
+    injected = InternalError("write torn inside record header (injected)");
+  } else if (armed && rng_.NextBool(plan_.short_write_probability)) {
+    keep = std::min(record.size(),
+                    kRecordHeaderBytes +
+                        (record.size() - kRecordHeaderBytes) / 2);
+    c_short_writes_.Inc();
+    injected = InternalError("short write mid-payload (injected)");
+  }
+  const Status written = WriteAll(fd, record.subspan(0, keep));
+  bytes_written_ += keep;
+  if (!written.ok()) return written;
+  return injected;
+}
+
+Status FileIo::Sync(int fd) {
+  if (::fsync(fd) != 0) {
+    return InternalError(std::string("fsync: ") + std::strerror(errno));
+  }
+  c_fsyncs_.Inc();
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::storage

@@ -1,0 +1,55 @@
+// The storage engine's syscall choke point, with deterministic fault
+// injection spliced in exactly where a real disk fails.
+//
+// Every record append and fsync the log issues goes through one
+// FileIo, so a sim::IoFaultPlan can produce the three crash shapes
+// the recovery path must survive (DESIGN.md §13): a short write
+// (payload prefix on disk, then failure), a torn record (the cut
+// lands inside the 8-byte header), and ENOSPC (refused outright,
+// nothing written). The injected Status mirrors what a real disk
+// reports and the file's content afterwards mirrors what a real disk
+// keeps, so the log layer cannot tell — and must not care — whether
+// a failure was injected or real. Faults are a pure function of
+// (plan, seed, append ordinal): a failing storage soak replays
+// byte-identically. Injections are counted under storage.faults.*.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/faults.h"
+#include "telemetry/telemetry.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace vegvisir::storage {
+
+class FileIo {
+ public:
+  // `telemetry` must outlive the FileIo and be non-null (the engine
+  // always supplies its own bundle).
+  FileIo(sim::IoFaultPlan plan, std::uint64_t seed,
+         telemetry::Telemetry* telemetry);
+
+  // Appends one whole log record (header + payload) at the current
+  // end of `fd`. kResourceExhausted means nothing was written; any
+  // other failure may have left a prefix of the record on disk —
+  // the caller must treat the file as needing recovery.
+  Status AppendRecord(int fd, ByteSpan record);
+
+  Status Sync(int fd);
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  sim::IoFaultPlan plan_;
+  Rng rng_;
+  std::uint64_t appends_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  telemetry::Counter c_short_writes_;
+  telemetry::Counter c_torn_records_;
+  telemetry::Counter c_enospc_;
+  telemetry::Counter c_fsyncs_;
+};
+
+}  // namespace vegvisir::storage

@@ -1,0 +1,117 @@
+#include "storage/format.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+
+#include "serial/codec.h"
+#include "serial/limits.h"
+
+namespace vegvisir::storage {
+namespace {
+
+constexpr std::string_view kSegmentPrefix = "seg-";
+constexpr std::string_view kSegmentSuffix = ".vlog";
+constexpr std::size_t kSegmentDigits = 6;
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < table.size(); ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(ByteSpan data) {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Bytes EncodeSegmentHeader(std::uint64_t segment_id) {
+  serial::Writer w;
+  for (std::size_t i = 0; i < kMagicLen; ++i) {
+    w.WriteU8(static_cast<std::uint8_t>(kSegmentMagic[i]));
+  }
+  w.WriteU32(kFormatVersion);
+  w.WriteU64(segment_id);
+  return w.Take();
+}
+
+Status ParseSegmentHeader(ByteSpan data, std::uint64_t* segment_id) {
+  if (data.size() < kSegmentHeaderBytes) {
+    return InvalidArgumentError("segment header truncated");
+  }
+  if (!std::equal(kSegmentMagic, kSegmentMagic + kMagicLen, data.begin())) {
+    return InvalidArgumentError("bad magic (not a Vegvisir log segment)");
+  }
+  serial::Reader r(data.subspan(kMagicLen, kSegmentHeaderBytes - kMagicLen));
+  std::uint32_t version = 0;
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU32(&version));
+  if (version != kFormatVersion) {
+    return InvalidArgumentError("unsupported segment version");
+  }
+  return r.ReadU64(segment_id);
+}
+
+Bytes EncodeRecordHeader(std::uint32_t length, std::uint32_t crc) {
+  serial::Writer w;
+  w.WriteU32(length);
+  w.WriteU32(crc);
+  return w.Take();
+}
+
+Status ParseRecordHeader(ByteSpan data, std::uint32_t* length,
+                         std::uint32_t* crc) {
+  if (data.size() < kRecordHeaderBytes) {
+    return InvalidArgumentError("log record header truncated");
+  }
+  serial::Reader r(data.subspan(0, kRecordHeaderBytes));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU32(length));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU32(crc));
+  if (*length == 0) {
+    return InvalidArgumentError("log record length is zero");
+  }
+  if (*length > serial::limits::kMaxLogRecordBytes) {
+    return InvalidArgumentError("log record length exceeds limit");
+  }
+  return Status::Ok();
+}
+
+std::string SegmentFileName(std::uint64_t segment_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.vlog",
+                static_cast<unsigned long long>(segment_id));
+  return buf;
+}
+
+Status ParseSegmentFileName(const std::string& name,
+                            std::uint64_t* segment_id) {
+  if (name.size() < kSegmentPrefix.size() + kSegmentDigits +
+                        kSegmentSuffix.size() ||
+      name.compare(0, kSegmentPrefix.size(), kSegmentPrefix) != 0 ||
+      name.compare(name.size() - kSegmentSuffix.size(), kSegmentSuffix.size(),
+                   kSegmentSuffix) != 0) {
+    return InvalidArgumentError("not a segment file name: " + name);
+  }
+  const char* first = name.data() + kSegmentPrefix.size();
+  const char* last = name.data() + name.size() - kSegmentSuffix.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *segment_id);
+  if (ec != std::errc() || ptr != last) {
+    return InvalidArgumentError("bad segment number in " + name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::storage

@@ -1,0 +1,187 @@
+#include "storage/index.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "serial/codec.h"
+#include "serial/limits.h"
+#include "util/fsio.h"
+
+namespace vegvisir::storage {
+namespace {
+
+std::uint32_t LoadLe32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t LoadLe64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(LoadLe32(p)) |
+         static_cast<std::uint64_t>(LoadLe32(p + 4)) << 32;
+}
+
+}  // namespace
+
+BlockIndex::BlockIndex(telemetry::Telemetry* telemetry)
+    : telem_(telemetry),
+      c_probes_(telemetry->metrics.GetCounter("storage.index.probes")),
+      c_hits_(telemetry->metrics.GetCounter("storage.index.hits")),
+      c_writes_(telemetry->metrics.GetCounter("storage.index.writes")) {}
+
+BlockIndex::~BlockIndex() { Unmap(); }
+
+void BlockIndex::Unmap() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+    entry_count_ = 0;
+  }
+}
+
+const std::uint8_t* BlockIndex::EntryAt(std::size_t i) const {
+  return map_ + kIndexHeaderBytes + i * kIndexEntryBytes;
+}
+
+StatusOr<std::uint64_t> BlockIndex::Load(const std::string& path) {
+  Unmap();
+  covered_bytes_ = 0;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return NotFoundError("cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return InternalError("fstat " + path + ": " + std::strerror(errno));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kIndexHeaderBytes) {
+    ::close(fd);
+    return InvalidArgumentError("index file truncated");
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped == MAP_FAILED) {
+    return InternalError("mmap " + path + ": " + std::strerror(errno));
+  }
+  map_ = static_cast<std::uint8_t*>(mapped);
+  map_size_ = size;
+
+  const ByteSpan header(map_, kIndexHeaderBytes);
+  if (!std::equal(kIndexMagic, kIndexMagic + kMagicLen, header.begin())) {
+    Unmap();
+    return InvalidArgumentError("bad magic (not a Vegvisir index)");
+  }
+  serial::Reader r(header.subspan(kMagicLen));
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  std::uint64_t covered = 0;
+  Status parsed = r.ReadU32(&version);
+  if (parsed.ok()) parsed = r.ReadU64(&count);
+  if (parsed.ok()) parsed = r.ReadU64(&covered);
+  if (!parsed.ok()) {
+    Unmap();
+    return parsed;
+  }
+  if (version != kFormatVersion) {
+    Unmap();
+    return InvalidArgumentError("unsupported index version");
+  }
+  const Status bounded = serial::CheckWireCount(
+      count, serial::limits::kMaxIndexEntries, map_size_ - kIndexHeaderBytes,
+      kIndexEntryBytes, "index entry");
+  if (!bounded.ok()) {
+    Unmap();
+    return bounded;
+  }
+  if (kIndexHeaderBytes + count * kIndexEntryBytes != map_size_) {
+    Unmap();
+    return InvalidArgumentError("index size mismatch");
+  }
+  entry_count_ = static_cast<std::size_t>(count);
+  covered_bytes_ = covered;
+  return covered;
+}
+
+void BlockIndex::Add(const chain::BlockHash& hash, const RecordLocation& loc) {
+  delta_[hash] = loc;
+}
+
+std::optional<RecordLocation> BlockIndex::Lookup(
+    const chain::BlockHash& hash) const {
+  c_probes_.Inc();
+  if (const auto it = delta_.find(hash); it != delta_.end()) {
+    c_hits_.Inc();
+    return it->second;
+  }
+  std::size_t lo = 0;
+  std::size_t hi = entry_count_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const int cmp = std::memcmp(EntryAt(mid), hash.data(), hash.size());
+    if (cmp == 0) {
+      const std::uint8_t* p = EntryAt(mid) + hash.size();
+      RecordLocation loc;
+      loc.segment_id = LoadLe64(p);
+      loc.offset = LoadLe64(p + 8);
+      loc.length = LoadLe32(p + 16);
+      c_hits_.Inc();
+      return loc;
+    }
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+Status BlockIndex::Write(const std::string& path, std::uint64_t log_bytes) {
+  // Gather mapped + delta (delta wins on duplicate hashes).
+  std::map<chain::BlockHash, RecordLocation> all;
+  for (std::size_t i = 0; i < entry_count_; ++i) {
+    const std::uint8_t* p = EntryAt(i);
+    chain::BlockHash h;
+    std::memcpy(h.data(), p, h.size());
+    RecordLocation loc;
+    loc.segment_id = LoadLe64(p + h.size());
+    loc.offset = LoadLe64(p + h.size() + 8);
+    loc.length = LoadLe32(p + h.size() + 16);
+    all.emplace(h, loc);
+  }
+  for (const auto& [h, loc] : delta_) all[h] = loc;
+  if (all.size() > serial::limits::kMaxIndexEntries) {
+    return ResourceExhaustedError("index entry count exceeds limit");
+  }
+
+  serial::Writer w;
+  for (std::size_t i = 0; i < kMagicLen; ++i) {
+    w.WriteU8(static_cast<std::uint8_t>(kIndexMagic[i]));
+  }
+  w.WriteU32(kFormatVersion);
+  w.WriteU64(all.size());
+  w.WriteU64(log_bytes);
+  for (const auto& [h, loc] : all) {
+    w.WriteFixed(h);
+    w.WriteU64(loc.segment_id);
+    w.WriteU64(loc.offset);
+    w.WriteU32(loc.length);
+  }
+  VEGVISIR_RETURN_IF_ERROR(DurableWriteFile(path, w.buffer()));
+  c_writes_.Inc();
+
+  auto reloaded = Load(path);
+  if (!reloaded.ok()) return reloaded.status();
+  delta_.clear();
+  return Status::Ok();
+}
+
+}  // namespace vegvisir::storage

@@ -1,0 +1,81 @@
+// The mmap'd hash→offset index over the block log.
+//
+// File layout ("index.vidx"):
+//
+//   8-byte magic "VGVSIDX1" | u32 version | u64 entry count |
+//   u64 covered log bytes | entries (sorted by hash)
+//   entry: 32-byte block hash | u64 segment id | u64 payload offset |
+//          u32 payload length                       (52 bytes)
+//
+// The mapped table is the RAM-cheap steady state: lookups binary-
+// search the kernel's page cache instead of a per-block heap entry,
+// which is what lets a device hold a chain much larger than RAM.
+// Appends since the last Write() live in a small RAM delta that
+// drains on the next Write(). The `covered log bytes` header field
+// is the recovery checkpoint: everything below it was CRC-verified
+// and fsync'd before the index was durably written (storage/
+// engine.h orders it so), letting reopen skip re-hashing the covered
+// prefix. A missing, corrupt, or over-covering index is never an
+// error — the engine rebuilds it from the log and counts
+// storage.index.rebuilds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "chain/types.h"
+#include "storage/format.h"
+#include "telemetry/telemetry.h"
+#include "util/status.h"
+
+namespace vegvisir::storage {
+
+inline constexpr std::size_t kIndexHeaderBytes = kMagicLen + 4 + 8 + 8;
+inline constexpr std::size_t kIndexEntryBytes = 32 + 8 + 8 + 4;
+
+class BlockIndex {
+ public:
+  // `telemetry` must be non-null and outlive the index.
+  explicit BlockIndex(telemetry::Telemetry* telemetry);
+  ~BlockIndex();
+
+  BlockIndex(const BlockIndex&) = delete;
+  BlockIndex& operator=(const BlockIndex&) = delete;
+
+  // Maps `path` and returns the log bytes it covers. kNotFound if the
+  // file is absent, kInvalidArgument if it is malformed — both mean
+  // "rebuild from the log".
+  StatusOr<std::uint64_t> Load(const std::string& path);
+
+  // Records a new append in the RAM delta.
+  void Add(const chain::BlockHash& hash, const RecordLocation& loc);
+
+  std::optional<RecordLocation> Lookup(const chain::BlockHash& hash) const;
+
+  // Durably rewrites `path` with every mapped + delta entry, stamps
+  // it as covering `log_bytes`, and remaps it (the delta drains).
+  Status Write(const std::string& path, std::uint64_t log_bytes);
+
+  std::size_t mapped_entries() const { return entry_count_; }
+  std::size_t delta_entries() const { return delta_.size(); }
+  std::uint64_t covered_bytes() const { return covered_bytes_; }
+
+ private:
+  void Unmap();
+  const std::uint8_t* EntryAt(std::size_t i) const;
+
+  telemetry::Telemetry* telem_;
+  // Mutable: Lookup is logically const but still counts its probes.
+  mutable telemetry::Counter c_probes_;
+  mutable telemetry::Counter c_hits_;
+  telemetry::Counter c_writes_;
+  std::uint8_t* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::size_t entry_count_ = 0;
+  std::uint64_t covered_bytes_ = 0;
+  std::map<chain::BlockHash, RecordLocation> delta_;
+};
+
+}  // namespace vegvisir::storage

@@ -118,6 +118,26 @@ inline constexpr std::string_view kCounters[] = {
     "recon.responder.reject.truncated",
     "recon.responder.reject.unexpected_type",
     "recon.responder.reject.unknown_type",
+    // ---- durable block-log storage engine (src/storage) -------------
+    "storage.append_failures",
+    "storage.appends",
+    "storage.bytes_appended",
+    "storage.cold_migrations",
+    "storage.cold_read_bytes",
+    "storage.cold_reads",
+    "storage.faults.enospc",
+    "storage.faults.short_writes",
+    "storage.faults.torn_records",
+    "storage.fsyncs",
+    "storage.index.hits",
+    "storage.index.probes",
+    "storage.index.rebuilds",
+    "storage.index.writes",
+    "storage.recovery.bytes_dropped",
+    "storage.recovery.records_replayed",
+    "storage.recovery.records_truncated",
+    "storage.recovery.runs",
+    "storage.segments_created",
     // ---- support / superpeer offload (src/support) ------------------
     "support.blocks_archived",
     "support.bytes_reclaimed",
@@ -129,6 +149,11 @@ inline constexpr std::string_view kGauges[] = {
     "exec.pool_utilization",
     "exec.threads",
     "node.quarantine_size",
+    "storage.cold_blocks",
+    "storage.hot_blocks",
+    "storage.hot_bytes",
+    "storage.log_bytes",
+    "storage.segments",
     "support.stored_bytes",
 };
 

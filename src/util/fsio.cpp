@@ -1,0 +1,76 @@
+#include "util/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace vegvisir {
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, ByteSpan data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoError("open dir " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoError("fsync dir " + dir);
+  return Status::Ok();
+}
+
+Status DurableWriteFile(const std::string& path, ByteSpan data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("open " + tmp);
+  Status s = WriteAll(fd, data);
+  if (s.ok() && ::fsync(fd) != 0) s = ErrnoError("fsync " + tmp);
+  if (::close(fd) != 0 && s.ok()) s = ErrnoError("close " + tmp);
+  if (!s.ok()) {
+    std::remove(tmp.c_str());
+    return s;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return InternalError("rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  return FsyncDir(parent.empty() ? "." : parent.string());
+}
+
+StatusOr<Bytes> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return NotFoundError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) return InternalError("short read from " + path);
+  return data;
+}
+
+}  // namespace vegvisir

@@ -17,11 +17,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "crdt/sets.h"
 #include "node/cluster.h"
 #include "sim/faults.h"
 #include "sim/topology.h"
+#include "storage/format.h"
 
 namespace vegvisir::node {
 namespace {
@@ -326,6 +330,151 @@ TEST(ChaosTest, CombinedSoakReconvergesWithExactAccounting) {
   // 5. Byte accounting is exact across corruption, truncated
   //    envelopes, flap-refused sends and crash dead-letters.
   ExpectExactByteAccounting(cluster.AggregateSnapshot());
+}
+
+// ---- durable storage under chaos (DESIGN.md §13) -------------------
+
+// A fresh, empty data root for a durable cluster.
+std::string FreshDataDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("vgv_chaos_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// The crash-restart-mid-append scenario: a durable node is powered
+// off while an append is in flight (a torn record lands after its
+// fsync'd prefix), and the restart must recover by log replay —
+// keeping every fsync'd block, truncating exactly the torn tail, and
+// NOT adopting any checkpoint snapshot.
+TEST(ChaosTest, DurableNodeRecoversByLogReplayAfterTornCrash) {
+  sim::ExplicitTopology topo(3);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.seed = 83;
+  cfg.data_dir = FreshDataDir("torn_crash");
+  Cluster cluster(cfg, &topo);
+
+  cluster.RunFor(30'000);
+  ASSERT_TRUE(cluster.Converged());
+  const std::size_t pre_crash_blocks = cluster.node(1).dag().Size();
+  EXPECT_GT(pre_crash_blocks, 1u);
+  EXPECT_EQ(cluster.store(1)->log().record_count(), pre_crash_blocks);
+
+  cluster.CrashNode(1);
+  EXPECT_FALSE(cluster.alive(1));
+  // The append that was mid-flight at power-off: half a record header
+  // beyond the fsync'd prefix of the active segment.
+  {
+    std::ofstream seg(cfg.data_dir + "/node1/" + storage::SegmentFileName(0),
+                      std::ios::binary | std::ios::app);
+    const char torn[] = {0x7F, 0x7F, 0x7F};
+    seg.write(torn, sizeof(torn));
+  }
+  const auto written_while_down = cluster.node(0).AddWitnessBlock();
+  ASSERT_TRUE(written_while_down.ok());
+  cluster.RunFor(10'000);
+
+  // No snapshot is ever adopted on the durable path: log replay only.
+  EXPECT_FALSE(cluster.RestartNode(1));
+  ASSERT_TRUE(cluster.alive(1));
+  // History recovered from the local log, before any gossip ran.
+  EXPECT_GE(cluster.node(1).dag().Size(), pre_crash_blocks);
+  const telemetry::MetricsRegistry& m = cluster.telemetry(1).metrics;
+  EXPECT_EQ(m.CounterValue("storage.recovery.records_truncated"), 1u);
+  EXPECT_GT(m.CounterValue("storage.recovery.bytes_dropped"), 0u);
+  EXPECT_GE(m.CounterValue("storage.recovery.records_replayed"),
+            pre_crash_blocks);
+
+  // ...and it catches up on what it missed while down.
+  EXPECT_TRUE(ConvergedBy(cluster, 300'000));
+  EXPECT_TRUE(cluster.node(1).dag().Contains(*written_while_down));
+  ExpectAllBlocksValid(cluster);
+  // The write-ahead invariant held throughout: every node's DAG is
+  // exactly its log.
+  for (int i = 0; i < cluster.size(); ++i) {
+    ASSERT_NE(cluster.store(i), nullptr) << i;
+    EXPECT_EQ(cluster.store(i)->log().record_count(),
+              cluster.node(i).dag().Size())
+        << i;
+  }
+}
+
+// Scheduled crash/restart events on a durable cluster: the restart
+// path goes through TieredStore::Open + log replay instead of the
+// flash checkpoint, under ongoing gossip traffic.
+TEST(ChaosTest, DurableClusterSurvivesScheduledCrashes) {
+  sim::ExplicitTopology topo(4);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.seed = 97;
+  cfg.data_dir = FreshDataDir("scheduled");
+  cfg.faults = sim::FaultPlan::CrashRestart(2, 40'000, 70'000);
+  Cluster cluster(cfg, &topo);
+
+  cluster.RunFor(35'000);
+  const std::size_t pre_crash_blocks = cluster.node(2).dag().Size();
+  EXPECT_GT(pre_crash_blocks, 1u);
+  cluster.RunFor(15'000);  // t=50s: node 2 is down, its store closed
+  EXPECT_FALSE(cluster.alive(2));
+  EXPECT_EQ(cluster.store(2), nullptr);
+  const auto h = cluster.node(0).AddWitnessBlock();
+  ASSERT_TRUE(h.ok());
+
+  cluster.RunFor(25'000);  // t=75s: recovered by log replay
+  ASSERT_TRUE(cluster.alive(2));
+  ASSERT_NE(cluster.store(2), nullptr);
+  EXPECT_GE(cluster.node(2).dag().Size(), pre_crash_blocks);
+
+  EXPECT_TRUE(ConvergedBy(cluster, 300'000));
+  EXPECT_TRUE(cluster.node(2).dag().Contains(*h));
+  const telemetry::Snapshot agg = cluster.AggregateSnapshot();
+  EXPECT_EQ(agg.counters.at("fault.crashes"), 1u);
+  EXPECT_EQ(agg.counters.at("fault.restarts"), 1u);
+  // Two recovery runs on node 2 (initial open + post-crash reopen),
+  // one on everyone else.
+  EXPECT_GE(agg.counters.at("storage.recovery.runs"),
+            static_cast<std::uint64_t>(cluster.size()) + 1);
+  ExpectAllBlocksValid(cluster);
+  ExpectExactByteAccounting(cluster.AggregateSnapshot());
+}
+
+// Injected disk faults inside the WAL: ENOSPC makes persists fail,
+// which must park blocks (quarantine) rather than ack-then-lose them.
+// Once the disk "frees up" (here: never, so the budget simply pins
+// the acked set), nothing invalid or unlogged is ever in a DAG.
+TEST(ChaosTest, EnospcParksBlocksInsteadOfLosingThem) {
+  sim::ExplicitTopology topo(3);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.seed = 59;
+  cfg.data_dir = FreshDataDir("enospc");
+  // Every node's disk accepts ~2 KiB of records, then refuses.
+  cfg.faults.io = sim::IoFaultPlan::Enospc(2 * 1024);
+  Cluster cluster(cfg, &topo);
+
+  // Write until every disk is full (failed submissions are expected —
+  // a full disk refuses to ack the node's own blocks too).
+  for (int k = 0; k < 40; ++k) {
+    (void)cluster.node(k % 3).AddWitnessBlock();
+    cluster.RunFor(3'000);
+  }
+  const telemetry::Snapshot agg = cluster.AggregateSnapshot();
+  EXPECT_GT(agg.counters.at("storage.faults.enospc"), 0u);
+  EXPECT_GT(agg.counters.at("storage.append_failures"), 0u);
+  // The WAL invariant holds even with a full disk: acked == logged.
+  for (int i = 0; i < cluster.size(); ++i) {
+    ASSERT_NE(cluster.store(i), nullptr) << i;
+    EXPECT_EQ(cluster.store(i)->log().record_count(),
+              cluster.node(i).dag().Size())
+        << i;
+  }
+  ExpectAllBlocksValid(cluster);
 }
 
 TEST(ChaosTest, SoakIsDeterministicAcrossRuns) {

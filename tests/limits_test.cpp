@@ -15,6 +15,8 @@
 
 #include <array>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -33,8 +35,13 @@
 #include "recon/session.h"
 #include "serial/codec.h"
 #include "serial/limits.h"
+#include "storage/format.h"
+#include "storage/index.h"
+#include "storage/log.h"
+#include "telemetry/telemetry.h"
 #include "util/bloom.h"
 #include "util/bytes.h"
+#include "util/fsio.h"
 
 namespace vegvisir {
 namespace {
@@ -349,6 +356,107 @@ TEST(LimitsTest, BloomBitCountAboveLimitRejected) {
   auto filter = BloomFilter::Deserialize(w.buffer());
   ASSERT_FALSE(filter.ok());
   EXPECT_EQ(filter.status().message(), "bad bloom bit count");
+}
+
+// ------------------------------------------- durable block log (storage/)
+
+TEST(LimitsTest, LogRecordLengthAboveLimitRejected) {
+  // A record header claiming kMaxLogRecordBytes + 1: the parse must
+  // reject on the length field alone, before any caller allocates.
+  const Bytes header = storage::EncodeRecordHeader(
+      static_cast<std::uint32_t>(limits::kMaxLogRecordBytes + 1), 0);
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+  const Status status =
+      storage::ParseRecordHeader(header, &length, &crc);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "log record length exceeds limit");
+  // The cap itself is fine.
+  const Bytes max_header = storage::EncodeRecordHeader(
+      static_cast<std::uint32_t>(limits::kMaxLogRecordBytes), 0);
+  EXPECT_TRUE(storage::ParseRecordHeader(max_header, &length, &crc).ok());
+}
+
+TEST(LimitsTest, SegmentRecordCountAboveLimitTruncatedAtCap) {
+  // A segment file claiming kMaxSegmentRecords + 1 records (possible
+  // only via corruption — the appender rolls long before the cap):
+  // recovery keeps exactly the cap and truncates the excess instead
+  // of looping without bound.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "vgv_limits_segcap").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream seg(dir + "/" + storage::SegmentFileName(0),
+                      std::ios::binary);
+    const Bytes head = storage::EncodeSegmentHeader(0);
+    seg.write(reinterpret_cast<const char*>(head.data()),
+              static_cast<std::streamsize>(head.size()));
+    // One-byte records: 9 bytes each, ~590 KiB total for cap + 1.
+    const Bytes byte_payload(1, 0x5A);
+    const Bytes rec_head = storage::EncodeRecordHeader(
+        1, storage::Crc32(byte_payload));
+    Bytes record = rec_head;
+    Append(&record, byte_payload);
+    for (std::uint64_t i = 0; i < limits::kMaxSegmentRecords + 1; ++i) {
+      seg.write(reinterpret_cast<const char*>(record.data()),
+                static_cast<std::streamsize>(record.size()));
+    }
+  }
+  telemetry::Telemetry telem;
+  storage::BlockLog::Options opts;
+  opts.dir = dir;
+  opts.telemetry = &telem;
+  auto log = storage::BlockLog::Open(std::move(opts));
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ((*log)->record_count(), limits::kMaxSegmentRecords);
+  EXPECT_EQ((*log)->recovery().records_truncated, 1u);
+}
+
+TEST(LimitsTest, IndexEntryShortBombRejected) {
+  // The cheap half: a count the file's own size cannot back.
+  serial::Writer w;
+  for (std::size_t i = 0; i < storage::kMagicLen; ++i) {
+    w.WriteU8(static_cast<std::uint8_t>(storage::kIndexMagic[i]));
+  }
+  w.WriteU32(storage::kFormatVersion);
+  w.WriteU64(limits::kMaxIndexEntries + 1);
+  w.WriteU64(0);  // covered bytes
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vgv_limits_idx_short.vidx")
+          .string();
+  ASSERT_TRUE(DurableWriteFile(path, w.buffer()).ok());
+  telemetry::Telemetry telem;
+  storage::BlockIndex index(&telem);
+  const auto loaded = index.Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().message(), "index entry count exceeds input");
+}
+
+TEST(LimitsTest, IndexEntryLimitBombRejected) {
+  // The expensive half: the attacker pays for the padding (~13 MiB),
+  // so only the absolute cap rejects.
+  serial::Writer w;
+  for (std::size_t i = 0; i < storage::kMagicLen; ++i) {
+    w.WriteU8(static_cast<std::uint8_t>(storage::kIndexMagic[i]));
+  }
+  w.WriteU32(storage::kFormatVersion);
+  w.WriteU64(limits::kMaxIndexEntries + 1);
+  w.WriteU64(0);  // covered bytes
+  Bytes file = w.Take();
+  file.insert(file.end(),
+              static_cast<std::size_t>(limits::kMaxIndexEntries + 1) *
+                  storage::kIndexEntryBytes,
+              0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vgv_limits_idx_bomb.vidx")
+          .string();
+  ASSERT_TRUE(DurableWriteFile(path, file).ok());
+  telemetry::Telemetry telem;
+  storage::BlockIndex index(&telem);
+  const auto loaded = index.Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().message(), "index entry count exceeds limit");
 }
 
 // ----------------------------------------------------- CheckWireCount
