@@ -109,12 +109,12 @@ int main() {
   for (const chain::Block& b : fx.blocks) (void)store->Append(b);
   (void)store->SyncIndex();  // syncs the log, then the index
   const double append_ms = MsSince(t0);
-  const double log_mb = static_cast<double>(store->log().total_bytes()) / 1e6;
+  const double log_mb = static_cast<double>(store->GetStats().log_bytes) / 1e6;
   const double append_per_s = (kChain + 1) / (append_ms / 1e3);
   std::printf("append (batched sync) : %9.0f blocks/s  %6.1f MB/s  "
               "(%zu segments, %.1f MB)\n",
               append_per_s, log_mb / (append_ms / 1e3),
-              store->log().segments().size(), log_mb);
+              store->GetStats().segments.size(), log_mb);
 
   // -- Append throughput, fsync per record (WAL discipline) ---------
   double wal_per_s = 0;
@@ -209,6 +209,6 @@ int main() {
        {"cold_read_us", cold_us},
        {"ram_bytes_inmemory", static_cast<double>(ram_inmemory)},
        {"ram_bytes_tiered", static_cast<double>(ram_tiered)},
-       {"log_bytes", static_cast<double>(store->log().total_bytes())}});
+       {"log_bytes", static_cast<double>(store->GetStats().log_bytes)}});
   return 0;
 }

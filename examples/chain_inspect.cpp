@@ -131,33 +131,32 @@ int InspectStorage(const std::string& dir) {
                  store.status().ToString().c_str());
     return 1;
   }
-  const storage::BlockLog& log = (*store)->log();
+  const storage::TieredStoreStats stats = (*store)->GetStats();
   std::printf("== storage at %s ==\n", dir.c_str());
   std::printf("log       : %llu records, %llu bytes, %zu segment(s)%s\n",
-              static_cast<unsigned long long>(log.record_count()),
-              static_cast<unsigned long long>(log.total_bytes()),
-              log.segments().size(), log.wounded() ? " [WOUNDED]" : "");
-  for (const auto& seg : log.segments()) {
+              static_cast<unsigned long long>(stats.log_records),
+              static_cast<unsigned long long>(stats.log_bytes),
+              stats.segments.size(), stats.log_wounded ? " [WOUNDED]" : "");
+  for (const auto& seg : stats.segments) {
     std::printf("  seg %06llu: %6llu records %9llu B  %s\n",
                 static_cast<unsigned long long>(seg.id),
                 static_cast<unsigned long long>(seg.records),
                 static_cast<unsigned long long>(seg.bytes),
                 seg.path.c_str());
   }
-  const auto& rec = log.recovery();
+  const auto& rec = stats.recovery;
   std::printf("recovery  : %llu replayed, %llu truncated, %llu bytes "
               "dropped\n",
               static_cast<unsigned long long>(rec.records_replayed),
               static_cast<unsigned long long>(rec.records_truncated),
               static_cast<unsigned long long>(rec.bytes_dropped));
-  const storage::BlockIndex& index = (*store)->index();
   std::printf("index     : %zu mapped + %zu unsynced entries, covers %llu "
               "of %llu log bytes\n",
-              index.mapped_entries(), index.delta_entries(),
-              static_cast<unsigned long long>(index.covered_bytes()),
-              static_cast<unsigned long long>(log.total_bytes()));
+              stats.index_mapped, stats.index_delta,
+              static_cast<unsigned long long>(stats.index_covered_bytes),
+              static_cast<unsigned long long>(stats.log_bytes));
 
-  if (log.record_count() == 0) {
+  if (stats.log_records == 0) {
     std::printf("(empty log — nothing to replay)\n");
     return 0;
   }

@@ -302,8 +302,14 @@ std::vector<BlockHash> Dag::StoredOldestFirst() const {
 }
 
 void Dag::ForEachStored(const std::function<void(const Block&)>& fn) const {
-  for (const auto& [h, e] : entries_) {
-    if (e.block.has_value()) fn(*e.block);
+  // Topological order, not entries_ bucket order: the callback is a
+  // caller-visible emission channel, and callers digest or print what
+  // they are handed (det_taint's callback-emit sink).
+  for (const BlockHash& h : TopologicalOrder()) {
+    const auto it = entries_.find(h);
+    if (it != entries_.end() && it->second.block.has_value()) {
+      fn(*it->second.block);
+    }
   }
 }
 

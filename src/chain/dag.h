@@ -134,7 +134,9 @@ class Dag {
   // the order in which a device offloads when storage runs low.
   std::vector<BlockHash> StoredOldestFirst() const;
 
-  // Iterates all stored blocks (unspecified order).
+  // Iterates all stored blocks in deterministic topological order
+  // (same order as TopologicalOrder, skipping evicted stubs), so any
+  // stream or digest the callback feeds is replica-independent.
   void ForEachStored(const std::function<void(const Block&)>& fn) const;
 
  private:

@@ -50,7 +50,7 @@ ThreadPool::ThreadPool(ExecConfig config, telemetry::Telemetry* sink)
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    const std::lock_guard<std::mutex> guard(mu_);
+    const util::MutexLock guard(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -87,29 +87,29 @@ bool ThreadPool::TakeTaskLocked(std::size_t self,
   return false;
 }
 
-void ThreadPool::RunTask(std::unique_lock<std::mutex>& lock,
-                         std::function<void()> task, bool on_worker) {
-  lock.unlock();
+void ThreadPool::RunTask(std::function<void()> task, bool on_worker) {
+  mu_.unlock();
   task();
   c_tasks_.Inc();
   total_tasks_.fetch_add(1, std::memory_order_relaxed);
   if (on_worker) worker_tasks_.fetch_add(1, std::memory_order_relaxed);
-  lock.lock();
+  mu_.lock();
   --outstanding_;
   if (outstanding_ == 0) idle_cv_.notify_all();
 }
 
 void ThreadPool::WorkerLoop(std::size_t index) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   for (;;) {
     std::function<void()> task;
     if (TakeTaskLocked(index, &task)) {
-      RunTask(lock, std::move(task), /*on_worker=*/true);
+      RunTask(std::move(task), /*on_worker=*/true);
       continue;
     }
-    if (stop_) return;
-    work_cv_.wait(lock);
+    if (stop_) break;
+    work_cv_.wait(mu_);
   }
+  mu_.unlock();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -120,7 +120,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::UniqueLock lock(mu_);
     if (global_.size() < config_.queue_capacity) {
       global_.push_back(std::move(task));
       ++outstanding_;
@@ -138,16 +138,17 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Wait() {
   if (!parallel()) return;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   for (;;) {
     std::function<void()> task;
     if (TakeTaskLocked(kHelper, &task)) {
-      RunTask(lock, std::move(task), /*on_worker=*/false);
+      RunTask(std::move(task), /*on_worker=*/false);
       continue;
     }
     if (outstanding_ == 0) break;
-    idle_cv_.wait(lock);
+    idle_cv_.wait(mu_);
   }
+  mu_.unlock();
   const double total =
       static_cast<double>(total_tasks_.load(std::memory_order_relaxed));
   if (total > 0) {
@@ -174,7 +175,7 @@ void ThreadPool::ParallelFor(
     return;
   }
   {
-    const std::lock_guard<std::mutex> guard(mu_);
+    const util::MutexLock guard(mu_);
     for (std::size_t begin = 0; begin < n; begin += grain) {
       const std::size_t end = begin < n - grain ? begin + grain : n;
       // Chunks go straight into worker deques round-robin; the global

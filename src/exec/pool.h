@@ -20,17 +20,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "telemetry/telemetry.h"
+#include "util/thread_annotations.h"
 
 namespace vegvisir::exec {
 
@@ -85,6 +84,10 @@ class ThreadPool {
 
  private:
   struct Worker {
+    // Guarded by the owning pool's mu_ (a nested type cannot name the
+    // outer member in a guarded_by attribute). The only accessors
+    // after construction are TakeTaskLocked, which REQUIRES(mu_), and
+    // ParallelFor, which holds a MutexLock across its enqueue loop.
     std::deque<std::function<void()>> local;  // owner pops back, thieves front
     std::thread thread;
   };
@@ -92,9 +95,12 @@ class ThreadPool {
   // All queue access happens under mu_. `self` is the worker index,
   // or kHelper for the Wait()ing submitter.
   static constexpr std::size_t kHelper = static_cast<std::size_t>(-1);
-  bool TakeTaskLocked(std::size_t self, std::function<void()>* task);
-  void RunTask(std::unique_lock<std::mutex>& lock,
-               std::function<void()> task, bool on_worker);
+  bool TakeTaskLocked(std::size_t self, std::function<void()>* task)
+      VEGVISIR_REQUIRES(mu_);
+  // Drops mu_ around task(), re-acquires it, then retires the task
+  // from outstanding_ — called and returns with mu_ held.
+  void RunTask(std::function<void()> task, bool on_worker)
+      VEGVISIR_REQUIRES(mu_);
   void WorkerLoop(std::size_t index);
 
   ExecConfig config_;
@@ -103,14 +109,20 @@ class ThreadPool {
   telemetry::Gauge g_threads_;
   telemetry::Gauge g_utilization_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: "a task was queued"
-  std::condition_variable idle_cv_;  // Wait(): "outstanding hit zero"
-  std::deque<std::function<void()>> global_;  // bounded MPMC injection queue
+  mutable util::Mutex mu_;
+  util::ConditionVariable work_cv_;  // workers: "a task was queued"
+  util::ConditionVariable idle_cv_;  // Wait(): "outstanding hit zero"
+  // Bounded MPMC injection queue.
+  std::deque<std::function<void()>> global_ VEGVISIR_GUARDED_BY(mu_);
+  // Set once in the constructor, then immutable: pointer loads are
+  // lock-free (parallel() and the steal scan read it unlocked); each
+  // worker's queue contents are guarded by mu_ — see Worker.
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::size_t next_worker_ = 0;  // ParallelFor round-robin cursor
-  std::size_t outstanding_ = 0;  // queued + currently running
-  bool stop_ = false;
+  // ParallelFor round-robin cursor.
+  std::size_t next_worker_ VEGVISIR_GUARDED_BY(mu_) = 0;
+  // Queued + currently running.
+  std::size_t outstanding_ VEGVISIR_GUARDED_BY(mu_) = 0;
+  bool stop_ VEGVISIR_GUARDED_BY(mu_) = false;
 
   std::atomic<std::uint64_t> total_tasks_{0};
   std::atomic<std::uint64_t> worker_tasks_{0};

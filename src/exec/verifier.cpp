@@ -18,8 +18,9 @@ BatchVerifier::BatchVerifier(ThreadPool* pool, telemetry::Telemetry* sink,
 }
 
 BatchVerifier::~BatchVerifier() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  mu_.lock();
+  while (in_flight_ != 0) done_cv_.wait(mu_);
+  mu_.unlock();
 }
 
 void BatchVerifier::Enqueue(std::vector<VerifyJob> jobs) {
@@ -29,7 +30,7 @@ void BatchVerifier::Enqueue(std::vector<VerifyJob> jobs) {
   };
   std::vector<Pending> fresh;
   {
-    const std::lock_guard<std::mutex> guard(mu_);
+    const util::MutexLock guard(mu_);
     for (VerifyJob& job : jobs) {
       const auto it = entries_.find(job.id);
       if (it != entries_.end() && it->second.key == job.key) continue;
@@ -70,7 +71,7 @@ void BatchVerifier::Enqueue(std::vector<VerifyJob> jobs) {
 
 void BatchVerifier::Record(const ContentId& id, std::uint64_t gen,
                            bool valid) {
-  const std::lock_guard<std::mutex> guard(mu_);
+  const util::MutexLock guard(mu_);
   const auto it = entries_.find(id);
   if (it != entries_.end() && it->second.gen == gen) {
     it->second.done = true;
@@ -82,34 +83,39 @@ void BatchVerifier::Record(const ContentId& id, std::uint64_t gen,
 
 std::optional<bool> BatchVerifier::Lookup(const ContentId& id,
                                           const crypto::PublicKey& key) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   const auto it = entries_.find(id);
   if (it == entries_.end() || !(it->second.key == key)) {
     c_misses_.Inc();
+    mu_.unlock();
     return std::nullopt;
   }
   c_hits_.Inc();
   // Pending entry: the job is inline (already done), queued, or on a
   // worker — all guarantee progress, so this wait is bounded by one
-  // batch drain.
-  done_cv_.wait(lock, [&] { return it->second.done; });
-  return it->second.valid;
+  // batch drain. (Record never erases, so `it` stays valid across the
+  // wait; only Forget/eviction erase, and both run on the serial
+  // owner thread that is blocked right here.)
+  while (!it->second.done) done_cv_.wait(mu_);
+  const bool valid = it->second.valid;
+  mu_.unlock();
+  return valid;
 }
 
 bool BatchVerifier::Cached(const ContentId& id,
                            const crypto::PublicKey& key) const {
-  const std::lock_guard<std::mutex> guard(mu_);
+  const util::MutexLock guard(mu_);
   const auto it = entries_.find(id);
   return it != entries_.end() && it->second.key == key;
 }
 
 void BatchVerifier::Forget(const ContentId& id) {
-  const std::lock_guard<std::mutex> guard(mu_);
+  const util::MutexLock guard(mu_);
   entries_.erase(id);
 }
 
 std::size_t BatchVerifier::SizeForTest() const {
-  const std::lock_guard<std::mutex> guard(mu_);
+  const util::MutexLock guard(mu_);
   return entries_.size();
 }
 

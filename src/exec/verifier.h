@@ -18,12 +18,10 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -31,6 +29,7 @@
 #include "exec/pool.h"
 #include "telemetry/telemetry.h"
 #include "util/bytes.h"
+#include "util/thread_annotations.h"
 
 namespace vegvisir::exec {
 
@@ -94,12 +93,13 @@ class BatchVerifier {
   telemetry::Counter c_misses_;
   telemetry::Histogram h_batch_size_;
 
-  mutable std::mutex mu_;
-  std::condition_variable done_cv_;
-  std::map<ContentId, Entry> entries_;
-  std::deque<ContentId> fifo_;  // insertion order; may hold stale ids
-  std::uint64_t gen_counter_ = 0;
-  std::size_t in_flight_ = 0;
+  mutable util::Mutex mu_;
+  util::ConditionVariable done_cv_;
+  std::map<ContentId, Entry> entries_ VEGVISIR_GUARDED_BY(mu_);
+  // Insertion order; may hold stale ids.
+  std::deque<ContentId> fifo_ VEGVISIR_GUARDED_BY(mu_);
+  std::uint64_t gen_counter_ VEGVISIR_GUARDED_BY(mu_) = 0;
+  std::size_t in_flight_ VEGVISIR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vegvisir::exec

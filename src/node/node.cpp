@@ -86,7 +86,7 @@ Status Node::AttachStorage(storage::TieredStore* store) {
     storage_ = nullptr;
     return Status::Ok();
   }
-  if (store->log().record_count() == 0) {
+  if (store->GetStats().log_records == 0) {
     // Fresh log under an existing DAG (first attach, or a node built
     // from a checkpoint image): seed it so the log's replay covers
     // everything the node already acked. Topological order keeps the

@@ -36,6 +36,9 @@ std::string TieredStore::index_path() const {
 StatusOr<std::unique_ptr<TieredStore>> TieredStore::Open(
     TieredStoreOptions opts) {
   std::unique_ptr<TieredStore> store(new TieredStore(std::move(opts)));
+  // Nobody else can hold the store yet, but recovery writes guarded
+  // state, so it runs under the engine lock like every other writer.
+  const util::MutexLock guard(store->mu_);
 
   // The index (if usable) tells recovery how much of the log was
   // already CRC-verified and made durable; the log scan then only
@@ -71,13 +74,17 @@ StatusOr<std::unique_ptr<TieredStore>> TieredStore::Open(
 
   // Index every record beyond the coverage point. The payload hash is
   // the block hash by construction (blocks hash their canonical
-  // serialization), so re-indexing needs no block decode.
+  // serialization), so re-indexing needs no block decode. The lambda
+  // gets a plain pointer resolved under the lock held above —
+  // thread-safety analysis treats a lambda as a separate function, so
+  // it could not see the guard through a captured `store`.
+  BlockIndex* index = store->index_.get();
   const Status indexed = store->log_->ForEachFrom(
-      covered, [&store](const RecordLocation& loc, ByteSpan payload) {
+      covered, [index](const RecordLocation& loc, ByteSpan payload) {
         const crypto::Sha256Digest digest = crypto::Sha256::Hash(payload);
         chain::BlockHash hash;
         std::copy(digest.begin(), digest.end(), hash.begin());
-        store->index_->Add(hash, loc);
+        index->Add(hash, loc);
         return Status::Ok();
       });
   if (!indexed.ok()) return indexed;
@@ -85,6 +92,7 @@ StatusOr<std::unique_ptr<TieredStore>> TieredStore::Open(
 }
 
 Status TieredStore::Append(const chain::Block& block) {
+  const util::MutexLock guard(mu_);
   if (index_->Lookup(block.hash()).has_value()) return Status::Ok();
   auto loc = log_->Append(block.Serialize());
   if (!loc.ok()) {
@@ -103,10 +111,17 @@ Status TieredStore::Append(const chain::Block& block) {
 }
 
 bool TieredStore::Contains(const chain::BlockHash& hash) const {
+  const util::MutexLock guard(mu_);
   return index_->Lookup(hash).has_value();
 }
 
 StatusOr<chain::Block> TieredStore::Fetch(const chain::BlockHash& hash) const {
+  const util::MutexLock guard(mu_);
+  return FetchLocked(hash);
+}
+
+StatusOr<chain::Block> TieredStore::FetchLocked(
+    const chain::BlockHash& hash) const {
   const auto loc = index_->Lookup(hash);
   if (!loc.has_value()) return NotFoundError("block not in storage index");
   auto payload = log_->Read(*loc);
@@ -122,6 +137,7 @@ StatusOr<chain::Block> TieredStore::Fetch(const chain::BlockHash& hash) const {
 }
 
 std::size_t TieredStore::MigrateCold(chain::Dag* dag, std::size_t keep_hot) {
+  const util::MutexLock guard(mu_);
   std::size_t migrated = 0;
   if (dag->StoredCount() > keep_hot) {
     // Bodies about to leave RAM must be durable first — without this
@@ -142,8 +158,9 @@ std::size_t TieredStore::MigrateCold(chain::Dag* dag, std::size_t keep_hot) {
 }
 
 Status TieredStore::FetchCold(chain::Dag* dag, const chain::BlockHash& hash) {
+  const util::MutexLock guard(mu_);
   if (dag->PresenceOf(hash) == chain::Presence::kStored) return Status::Ok();
-  auto block = Fetch(hash);
+  auto block = FetchLocked(hash);
   if (!block.ok()) return block.status();
   VEGVISIR_RETURN_IF_ERROR(dag->Restore(*std::move(block)));
   UpdateResidency(*dag);
@@ -151,6 +168,7 @@ Status TieredStore::FetchCold(chain::Dag* dag, const chain::BlockHash& hash) {
 }
 
 StatusOr<chain::Dag> TieredStore::RecoverDag() {
+  const util::MutexLock guard(mu_);
   std::optional<chain::Dag> dag;
   std::vector<chain::Block> pending;
   const Status replayed = log_->ForEachFrom(
@@ -203,8 +221,23 @@ StatusOr<chain::Dag> TieredStore::RecoverDag() {
 }
 
 Status TieredStore::SyncIndex() {
+  const util::MutexLock guard(mu_);
   VEGVISIR_RETURN_IF_ERROR(log_->Sync());
   return index_->Write(index_path(), log_->total_bytes());
+}
+
+TieredStoreStats TieredStore::GetStats() const {
+  const util::MutexLock guard(mu_);
+  TieredStoreStats stats;
+  stats.log_records = log_->record_count();
+  stats.log_bytes = log_->total_bytes();
+  stats.log_wounded = log_->wounded();
+  stats.segments = log_->segments();
+  stats.recovery = log_->recovery();
+  stats.index_mapped = index_->mapped_entries();
+  stats.index_delta = index_->delta_entries();
+  stats.index_covered_bytes = index_->covered_bytes();
+  return stats;
 }
 
 void TieredStore::UpdateResidency(const chain::Dag& dag) {

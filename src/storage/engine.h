@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "chain/block.h"
 #include "chain/dag.h"
@@ -38,6 +39,7 @@
 #include "storage/log.h"
 #include "telemetry/telemetry.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace vegvisir::storage {
 
@@ -52,6 +54,20 @@ struct TieredStoreOptions {
   sim::IoFaultPlan io_faults;
   std::uint64_t io_seed = 0;
   telemetry::Telemetry* telemetry = nullptr;  // null → private bundle
+};
+
+// Point-in-time copy of the log/index bookkeeping, taken under the
+// engine lock. The inspection surface (examples, tests, bench)
+// consumes this instead of references into live engine internals.
+struct TieredStoreStats {
+  std::uint64_t log_records = 0;
+  std::uint64_t log_bytes = 0;
+  bool log_wounded = false;
+  std::vector<BlockLog::SegmentInfo> segments;
+  BlockLog::RecoveryStats recovery;
+  std::size_t index_mapped = 0;
+  std::size_t index_delta = 0;
+  std::uint64_t index_covered_bytes = 0;
 };
 
 class TieredStore {
@@ -95,19 +111,30 @@ class TieredStore {
   // Refreshes the hot/cold residency gauges from the DAG.
   void UpdateResidency(const chain::Dag& dag);
 
-  const BlockLog& log() const { return *log_; }
-  const BlockIndex& index() const { return *index_; }
+  // Locked snapshot of the log/index bookkeeping.
+  TieredStoreStats GetStats() const;
+
   std::string index_path() const;
   telemetry::Telemetry* telemetry() const { return telem_; }
 
  private:
   explicit TieredStore(TieredStoreOptions opts);
+  // Fetch body with mu_ held; shared by Fetch and FetchCold (the
+  // public pair must not nest, or the engine lock would deadlock on
+  // itself).
+  StatusOr<chain::Block> FetchLocked(const chain::BlockHash& hash) const
+      VEGVISIR_REQUIRES(mu_);
 
   TieredStoreOptions opts_;
   std::unique_ptr<telemetry::Telemetry> owned_telem_;
   telemetry::Telemetry* telem_ = nullptr;
-  std::unique_ptr<BlockIndex> index_;
-  std::unique_ptr<BlockLog> log_;
+  // Guards the log and index objects (the pointers themselves are set
+  // once during Open, before the store is shared; the pointees mutate
+  // on every append/migrate). The sharded-ingest roadmap item lands
+  // concurrent Fetch/Append on this lock.
+  mutable util::Mutex mu_;
+  std::unique_ptr<BlockIndex> index_ VEGVISIR_PT_GUARDED_BY(mu_);
+  std::unique_ptr<BlockLog> log_ VEGVISIR_PT_GUARDED_BY(mu_);
   telemetry::Counter c_append_failures_;
   telemetry::Counter c_cold_migrations_;
   // Mutable: Fetch is logically const but still counts its reads.

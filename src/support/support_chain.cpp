@@ -1,5 +1,6 @@
 #include "support/support_chain.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "crypto/sha256.h"
@@ -96,9 +97,12 @@ SupportChain::SyncResult SupportChain::SyncFrom(const SupportChain& peer) {
   if (!peer_longer && !tie_peer_wins) return result;
 
   // Anything we archived that the winner did not is de-archived.
+  // bodies_ iterates in bucket order; sort so the report (and the
+  // re-archival it triggers) is identical on every superpeer.
   for (const auto& [h, body] : bodies_) {
     if (!peer.IsArchived(h)) result.dearchived.push_back(h);
   }
+  std::sort(result.dearchived.begin(), result.dearchived.end());
   result.new_blocks = peer.blocks_.size() -
                       [&] {
                         // Shared prefix length.

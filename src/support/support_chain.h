@@ -61,7 +61,9 @@ class SupportChain {
     std::size_t new_blocks = 0;     // support blocks gained
     // Vegvisir blocks whose archival fell off the losing fork; they
     // are still in every superpeer's DAG and get re-archived by the
-    // next Superpeer::SyncToSupport, so no data is ever lost.
+    // next Superpeer::SyncToSupport, so no data is ever lost. Sorted
+    // by hash — bodies_ is unordered, and every superpeer must report
+    // (and re-archive) the same loss in the same order.
     std::vector<chain::BlockHash> dearchived;
   };
 

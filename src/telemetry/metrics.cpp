@@ -17,6 +17,7 @@ void Histogram::Observe(double v) {
 }
 
 Counter MetricsRegistry::GetCounter(const std::string& name) {
+  const util::MutexLock guard(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return Counter(it->second);
   std::atomic<std::uint64_t>* cell = &counter_cells_.emplace_back(0);
@@ -25,6 +26,7 @@ Counter MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge MetricsRegistry::GetGauge(const std::string& name) {
+  const util::MutexLock guard(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return Gauge(it->second);
   std::atomic<double>* cell = &gauge_cells_.emplace_back(0.0);
@@ -34,6 +36,7 @@ Gauge MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram MetricsRegistry::GetHistogram(const std::string& name,
                                         std::vector<double> bounds) {
+  const util::MutexLock guard(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return Histogram(it->second);
   std::sort(bounds.begin(), bounds.end());
@@ -47,6 +50,7 @@ Histogram MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  const util::MutexLock guard(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end()
              ? 0
@@ -54,6 +58,7 @@ std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
+  const util::MutexLock guard(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end()
              ? 0.0
@@ -61,6 +66,7 @@ double MetricsRegistry::GaugeValue(const std::string& name) const {
 }
 
 Snapshot MetricsRegistry::TakeSnapshot() const {
+  const util::MutexLock guard(mu_);
   Snapshot snap;
   for (const auto& [name, cell] : counters_) {
     snap.counters[name] = cell->load(std::memory_order_relaxed);

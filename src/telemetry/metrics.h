@@ -15,12 +15,15 @@
 // handles are valid no-ops, so uninstrumented components cost a
 // predictable branch.
 //
-// Concurrency contract (DESIGN.md §12): counter/gauge cells are
+// Concurrency contract (DESIGN.md §12/§14): counter/gauge cells are
 // atomics, so `Inc`/`Add`/`Set` are safe from exec-pool workers.
-// Registration (`Get*`) and histogram `Observe` are NOT thread-safe
-// and stay on the owning (serial) thread — handles are resolved in
-// constructors before any worker exists, and histograms are only
-// observed from the thread that submits work.
+// Registration (`Get*`), point reads and `TakeSnapshot` serialize on
+// the registry mutex (cells live in deques, so a concurrent
+// registration never moves an existing cell). Histogram `Observe`
+// mutates its cell without a lock and stays on the owning (serial)
+// thread — handles are resolved in constructors before any worker
+// exists, and histograms are only observed from the thread that
+// submits work.
 //
 // Registries are per node; `Snapshot::Merge` aggregates across a
 // Cluster, `Snapshot::DiffSince` isolates a measurement window.
@@ -32,6 +35,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace vegvisir::telemetry {
 
@@ -156,12 +161,19 @@ class MetricsRegistry {
   Snapshot TakeSnapshot() const;
 
  private:
-  std::deque<std::atomic<std::uint64_t>> counter_cells_;
-  std::map<std::string, std::atomic<std::uint64_t>*> counters_;
-  std::deque<std::atomic<double>> gauge_cells_;
-  std::map<std::string, std::atomic<double>*> gauges_;
-  std::deque<HistogramData> histogram_cells_;
-  std::map<std::string, HistogramData*> histograms_;
+  // Guards the name→cell maps and cell deques (the registration
+  // path). The cells themselves are NOT guarded: counter/gauge cells
+  // are atomics addressed through handles, and deque growth never
+  // invalidates them.
+  mutable util::Mutex mu_;
+  std::deque<std::atomic<std::uint64_t>> counter_cells_
+      VEGVISIR_GUARDED_BY(mu_);
+  std::map<std::string, std::atomic<std::uint64_t>*> counters_
+      VEGVISIR_GUARDED_BY(mu_);
+  std::deque<std::atomic<double>> gauge_cells_ VEGVISIR_GUARDED_BY(mu_);
+  std::map<std::string, std::atomic<double>*> gauges_ VEGVISIR_GUARDED_BY(mu_);
+  std::deque<HistogramData> histogram_cells_ VEGVISIR_GUARDED_BY(mu_);
+  std::map<std::string, HistogramData*> histograms_ VEGVISIR_GUARDED_BY(mu_);
 };
 
 // Bucket helper: {1, 2, 4, ..., 2^(n-1)} — the natural scale for

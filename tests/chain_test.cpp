@@ -337,6 +337,33 @@ TEST(DagTest, TopologicalOrderRespectsParents) {
   EXPECT_LT(pos(b.hash()), pos(m.hash()));
 }
 
+TEST(DagTest, ForEachStoredVisitsInTopologicalOrder) {
+  Fixture f;
+  Dag dag(f.genesis);
+  // A diamond plus a tail: enough entries that hash-table bucket
+  // order would differ from the pinned topological order.
+  const Block a = f.MakeBlock({f.genesis.hash()}, 200, f.owner, "owner");
+  const Block b = f.MakeBlock({f.genesis.hash()}, 201, f.owner, "owner");
+  const Block m = f.MakeBlock({a.hash(), b.hash()}, 300, f.owner, "owner");
+  const Block t = f.MakeBlock({m.hash()}, 400, f.owner, "owner");
+  for (const Block* blk : {&a, &b, &m, &t}) {
+    ASSERT_TRUE(dag.Insert(*blk).ok());
+  }
+
+  std::vector<BlockHash> visited;
+  dag.ForEachStored([&](const Block& blk) { visited.push_back(blk.hash()); });
+  EXPECT_EQ(visited, dag.TopologicalOrder());
+
+  // Evicting a body drops it from the walk without disturbing the
+  // relative order of the survivors.
+  ASSERT_TRUE(dag.Evict(a.hash()).ok());
+  std::vector<BlockHash> after;
+  dag.ForEachStored([&](const Block& blk) { after.push_back(blk.hash()); });
+  std::vector<BlockHash> expected = dag.TopologicalOrder();
+  expected.erase(std::find(expected.begin(), expected.end(), a.hash()));
+  EXPECT_EQ(after, expected);
+}
+
 TEST(DagTest, AncestryQueries) {
   Fixture f;
   Dag dag(f.genesis);

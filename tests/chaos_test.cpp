@@ -362,7 +362,7 @@ TEST(ChaosTest, DurableNodeRecoversByLogReplayAfterTornCrash) {
   ASSERT_TRUE(cluster.Converged());
   const std::size_t pre_crash_blocks = cluster.node(1).dag().Size();
   EXPECT_GT(pre_crash_blocks, 1u);
-  EXPECT_EQ(cluster.store(1)->log().record_count(), pre_crash_blocks);
+  EXPECT_EQ(cluster.store(1)->GetStats().log_records, pre_crash_blocks);
 
   cluster.CrashNode(1);
   EXPECT_FALSE(cluster.alive(1));
@@ -397,7 +397,7 @@ TEST(ChaosTest, DurableNodeRecoversByLogReplayAfterTornCrash) {
   // exactly its log.
   for (int i = 0; i < cluster.size(); ++i) {
     ASSERT_NE(cluster.store(i), nullptr) << i;
-    EXPECT_EQ(cluster.store(i)->log().record_count(),
+    EXPECT_EQ(cluster.store(i)->GetStats().log_records,
               cluster.node(i).dag().Size())
         << i;
   }
@@ -470,7 +470,7 @@ TEST(ChaosTest, EnospcParksBlocksInsteadOfLosingThem) {
   // The WAL invariant holds even with a full disk: acked == logged.
   for (int i = 0; i < cluster.size(); ++i) {
     ASSERT_NE(cluster.store(i), nullptr) << i;
-    EXPECT_EQ(cluster.store(i)->log().record_count(),
+    EXPECT_EQ(cluster.store(i)->GetStats().log_records,
               cluster.node(i).dag().Size())
         << i;
   }

@@ -385,7 +385,7 @@ TEST(TieredStoreTest, AppendFetchRoundTripAndIdempotence) {
     // Idempotent: the second append is a no-op, not a duplicate.
     ASSERT_TRUE((*store)->Append(*owner->dag().Find(h)).ok());
   }
-  EXPECT_EQ((*store)->log().record_count(), owner->dag().Size());
+  EXPECT_EQ((*store)->GetStats().log_records, owner->dag().Size());
   for (const chain::BlockHash& h : owner->dag().TopologicalOrder()) {
     ASSERT_TRUE((*store)->Contains(h));
     auto block = (*store)->Fetch(h);
@@ -405,7 +405,7 @@ TEST(TieredStoreTest, IndexRebuildsFromLogWhenDeleted) {
       ASSERT_TRUE((*store)->Append(*owner->dag().Find(h)).ok());
     }
     ASSERT_TRUE((*store)->SyncIndex().ok());
-    EXPECT_GT((*store)->index().mapped_entries(), 0u);
+    EXPECT_GT((*store)->GetStats().index_mapped, 0u);
   }
   // With the index present, reopen uses it (no rebuild).
   {
@@ -456,7 +456,7 @@ TEST(TieredStoreTest, StaleOverCoveringIndexIsDiscarded) {
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   // The over-covering index was discarded and rebuilt from the log.
   EXPECT_EQ(telem.metrics.CounterValue("storage.index.rebuilds"), 1u);
-  EXPECT_EQ((*store)->log().record_count(), owner->dag().Size() - 1);
+  EXPECT_EQ((*store)->GetStats().log_records, owner->dag().Size() - 1);
 }
 
 // ------------------------------------------------------- hot/cold tier
@@ -565,7 +565,7 @@ TEST(TieredStoreTest, CrashMidAppendLosesOnlyTheTornTail) {
   // And the node keeps going: new blocks append to the recovered log.
   (*recovered)->SetTime(20'000);
   ASSERT_TRUE((*recovered)->AddWitnessBlock().ok());
-  EXPECT_EQ((*store)->log().record_count(), acked.size() + 1);
+  EXPECT_EQ((*store)->GetStats().log_records, acked.size() + 1);
 }
 
 // --------------------------------------- durable checkpoint files (fsio)

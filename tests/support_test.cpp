@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "crypto/drbg.h"
 #include "node/node.h"
 #include "support/superpeer.h"
@@ -254,6 +257,36 @@ TEST(SupportSyncTest, DearchivedBlocksAreReArchived) {
   EXPECT_GT(peer.SyncToSupport(4'000), 0u);
   EXPECT_TRUE(loser.IsArchived(*h2));
   EXPECT_TRUE(loser.VerifyChain());
+}
+
+TEST(SupportSyncTest, DearchivedListIsSortedByHash) {
+  Fixture f;
+  auto owner = f.MakeOwner();
+  std::vector<BlockHash> hashes;
+  for (int i = 0; i < 6; ++i) {
+    const auto h = owner->AddWitnessBlock();
+    ASSERT_TRUE(h.ok());
+    hashes.push_back(*h);
+  }
+  SupportChain loser(f.genesis.hash());
+  std::vector<Block> batch;
+  for (const auto& h : hashes) batch.push_back(*owner->dag().Find(h));
+  ASSERT_TRUE(loser.Archive(batch, 1).ok());
+  // Winner is longer but archived none of them: every body falls off.
+  SupportChain winner(f.genesis.hash());
+  ASSERT_TRUE(winner.Archive({}, 2).ok());
+  ASSERT_TRUE(winner.Archive({}, 3).ok());
+  ASSERT_GT(winner.Length(), loser.Length());
+
+  const auto result = loser.SyncFrom(winner);
+  ASSERT_TRUE(result.adopted);
+  ASSERT_EQ(result.dearchived.size(), hashes.size());
+  // Pinned byte order: ascending hash, regardless of the unordered
+  // body map's bucket layout, so every superpeer emits identically.
+  EXPECT_TRUE(std::is_sorted(result.dearchived.begin(),
+                             result.dearchived.end()));
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(result.dearchived, hashes);
 }
 
 TEST(SupportSyncTest, RefusesWrongGenesisAndBrokenChains) {

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Compile-probes the thread-safety annotation shim on both compilers.
+#
+# The shim (src/util/thread_annotations.h) must be exactly two things
+# at once:
+#   - on g++: pure no-ops — every macro vanishes, both probes compile;
+#   - on clang++ -Werror=thread-safety: a real analysis — the good
+#     probe (sanctioned idioms) compiles clean and the bad probe
+#     (unguarded access, REQUIRES violation) is REJECTED.
+#
+# g++ is always checked (the dev container ships it). clang++ is
+# checked when present; without it the clang half SKIPs and the CI
+# thread-safety job enforces it. Keep the skip message grep-able.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+GOOD="$ROOT/tools/analyzer/fixtures/shim/good_probe.cpp"
+BAD="$ROOT/tools/analyzer/fixtures/shim/bad_probe.cpp"
+
+compile() {  # compile <compiler> <extra flags...> -- <file>
+  local cxx="$1"; shift
+  local flags=()
+  while [[ "$1" != "--" ]]; do flags+=("$1"); shift; done
+  shift
+  "$cxx" -std=c++20 -fsyntax-only -I "$ROOT/src" "${flags[@]}" "$1"
+}
+
+fail=0
+
+if command -v g++ >/dev/null 2>&1; then
+  for probe in "$GOOD" "$BAD"; do
+    if ! compile g++ -Wall -Werror -- "$probe"; then
+      echo "FAIL: $(basename "$probe") must compile under g++ (the" \
+           "shim must be a no-op there)" >&2
+      fail=1
+    fi
+  done
+  echo "g++: shim is a clean no-op (both probes accepted)"
+else
+  echo "SKIP: g++ not installed."
+fi
+
+if command -v clang++ >/dev/null 2>&1; then
+  if ! compile clang++ -Wall -Werror=thread-safety -- "$GOOD"; then
+    echo "FAIL: good_probe.cpp must pass clang -Werror=thread-safety" \
+         "(a sanctioned idiom now trips the analysis)" >&2
+    fail=1
+  fi
+  if compile clang++ -Werror=thread-safety -- "$BAD" 2>/dev/null; then
+    echo "FAIL: bad_probe.cpp compiled under clang" \
+         "-Werror=thread-safety — the analysis is not engaging" \
+         "(is __has_attribute(capability) gating it off?)" >&2
+    fail=1
+  fi
+  [[ "$fail" -eq 0 ]] && echo "clang++: analysis engages (good clean, bad rejected)"
+else
+  echo "SKIP: clang++ not installed; analysis half enforced where it exists (CI)."
+fi
+
+exit "$fail"

@@ -1,0 +1,22 @@
+// det-expect: source=unordered-iter sink=serialize
+//
+// Taint must survive a chain of local assignments: the value written
+// is derived from the loop variable two copies removed.
+#include <cstdint>
+#include <unordered_set>
+
+struct Writer {
+  void WriteU32(std::uint32_t v);
+};
+
+struct IdTable {
+  std::unordered_set<std::uint32_t> ids_;
+
+  void Export(Writer& w) const {
+    for (const std::uint32_t id : ids_) {
+      const std::uint32_t masked = id & 0xffu;
+      const std::uint32_t column = masked;
+      w.WriteU32(column);
+    }
+  }
+};

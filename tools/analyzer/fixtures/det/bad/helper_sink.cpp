@@ -1,0 +1,29 @@
+// det-expect: sink=helper-sink:WriteAll
+//
+// The sink is one call deep: WriteAll serializes its parameter, so a
+// caller passing a bucket-ordered vector leaks through the helper.
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+struct Writer {
+  void WriteU32(std::uint32_t v);
+};
+
+void WriteAll(Writer& w, const std::vector<std::uint32_t>& items) {
+  for (const std::uint32_t item : items) {
+    w.WriteU32(item);
+  }
+}
+
+struct Registry {
+  std::unordered_set<std::uint32_t> ids_;
+
+  void Export(Writer& w) const {
+    std::vector<std::uint32_t> out;
+    for (const std::uint32_t id : ids_) {
+      out.push_back(id);
+    }
+    WriteAll(w, out);
+  }
+};

@@ -1,0 +1,24 @@
+// det-expect: source=pointer-key-iter sink=serialize
+//
+// std::map keyed by pointer iterates in address order — deterministic
+// within one process, different across runs and machines.
+#include <cstdint>
+#include <map>
+
+struct Block {
+  std::uint64_t height;
+};
+
+struct Writer {
+  void WriteU64(std::uint64_t v);
+};
+
+struct OffsetTable {
+  std::map<const Block*, std::uint64_t> offsets_;
+
+  void Serialize(Writer& w) const {
+    for (const auto& [block, offset] : offsets_) {
+      w.WriteU64(offset);
+    }
+  }
+};

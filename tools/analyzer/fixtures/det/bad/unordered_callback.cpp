@@ -1,0 +1,22 @@
+// det-expect: source=unordered-iter sink=callback-emit
+//
+// Invoking a caller-supplied callback once per hash-table entry: the
+// visitation order (and anything the caller builds from it) is
+// nondeterministic.
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+struct Block {
+  std::uint64_t height;
+};
+
+struct Dag {
+  std::unordered_map<std::uint64_t, Block> entries_;
+
+  void ForEachStored(const std::function<void(const Block&)>& fn) const {
+    for (const auto& [hash, entry] : entries_) {
+      fn(entry);
+    }
+  }
+};

@@ -1,0 +1,24 @@
+// det-expect: source=unordered-iter sink=unordered-return
+//
+// Collecting into a sequence in bucket order and returning it: the
+// caller observes nondeterministic element order through the API.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct SyncResult {
+  std::vector<std::uint64_t> dearchived;
+};
+
+struct SupportChain {
+  std::unordered_map<std::uint64_t, std::string> bodies_;
+
+  SyncResult SyncFrom() const {
+    SyncResult result;
+    for (const auto& [h, body] : bodies_) {
+      if (!body.empty()) result.dearchived.push_back(h);
+    }
+    return result;
+  }
+};

@@ -1,0 +1,20 @@
+// det-expect: source=unordered-iter sink=digest
+//
+// Feeding a hasher in bucket order: the digest depends on the salt
+// and insertion history, not on the set's contents.
+#include <cstdint>
+#include <unordered_set>
+
+struct Hasher {
+  void Update(std::uint64_t v);
+};
+
+struct Group {
+  std::unordered_set<std::uint64_t> members_;
+
+  void Fingerprint(Hasher& h) const {
+    for (const std::uint64_t m : members_) {
+      h.Update(m);
+    }
+  }
+};

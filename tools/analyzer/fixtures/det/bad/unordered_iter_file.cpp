@@ -1,0 +1,17 @@
+// det-expect: source=unordered-iter sink=file-write
+//
+// Writing hash-table entries to a file in bucket order: the report
+// bytes differ across runs even when the data is identical.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+struct SeriesDump {
+  std::unordered_map<std::string, double> series_;
+
+  void Dump(std::FILE* f) const {
+    for (const auto& [name, value] : series_) {
+      std::fwrite(name.data(), 1, name.size(), f);
+    }
+  }
+};

@@ -1,0 +1,23 @@
+// det-expect: source=unordered-iter sink=serialize
+//
+// The classic leak: hash-table bucket order written straight into a
+// canonical byte stream. Two nodes with the same logical table emit
+// different bytes.
+#include <cstdint>
+#include <unordered_map>
+
+struct Writer {
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+};
+
+struct Table {
+  std::unordered_map<std::uint32_t, std::uint64_t> cells_;
+
+  void Serialize(Writer& w) const {
+    for (const auto& [key, value] : cells_) {
+      w.WriteU32(key);
+      w.WriteU64(value);
+    }
+  }
+};

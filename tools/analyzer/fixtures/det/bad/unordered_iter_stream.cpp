@@ -1,0 +1,17 @@
+// det-expect: source=unordered-iter sink=emit
+//
+// Streaming hash-table rows to an ostream: metric/report text whose
+// line order changes run to run.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+struct RowDump {
+  std::unordered_map<std::string, long> rows_;
+
+  void Print(std::ostream& os) const {
+    for (const auto& [key, count] : rows_) {
+      os << key << "=" << count << "\n";
+    }
+  }
+};

@@ -1,0 +1,15 @@
+// det-expect: source=wall-clock sink=serialize
+//
+// A real-time clock read serialized into canonical bytes: replays and
+// peers can never reproduce the stream.
+#include <chrono>
+#include <cstdint>
+
+struct Writer {
+  void WriteU64(std::uint64_t v);
+};
+
+void StampHeader(Writer& w) {
+  const auto now = std::chrono::steady_clock::now();
+  w.WriteU64(static_cast<std::uint64_t>(now.time_since_epoch().count()));
+}

@@ -1,0 +1,24 @@
+// det-expect: clean
+//
+// A commutative fold (count/sum) over an unordered container is
+// order-insensitive: the accumulator's final value does not depend on
+// iteration order, so emitting it is fine.
+#include <cstdint>
+#include <unordered_set>
+
+struct Writer {
+  void WriteU32(std::uint32_t v);
+};
+
+struct Census {
+  std::unordered_set<std::uint64_t> members_;
+
+  void Export(Writer& w) const {
+    std::uint32_t n = 0;
+    for (const std::uint64_t m : members_) {
+      (void)m;
+      n += 1;
+    }
+    w.WriteU32(n);
+  }
+};

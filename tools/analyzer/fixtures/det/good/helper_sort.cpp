@@ -1,0 +1,31 @@
+// det-expect: clean
+//
+// The sanitizer is one call deep: Canonicalize sorts its parameter,
+// so the caller's bucket-ordered vector is clean after the call.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+struct Writer {
+  void WriteU32(std::uint32_t v);
+};
+
+void Canonicalize(std::vector<std::uint32_t>& items) {
+  std::sort(items.begin(), items.end());
+}
+
+struct Registry {
+  std::unordered_set<std::uint32_t> ids_;
+
+  void Export(Writer& w) const {
+    std::vector<std::uint32_t> out;
+    for (const std::uint32_t id : ids_) {
+      out.push_back(id);
+    }
+    Canonicalize(out);
+    for (const std::uint32_t id : out) {
+      w.WriteU32(id);
+    }
+  }
+};

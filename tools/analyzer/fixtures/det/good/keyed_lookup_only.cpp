@@ -1,0 +1,30 @@
+// det-expect: clean
+//
+// Subscript stores into an ordered map are keyed, not sequential:
+// bucket-order arrival lands each value at its sorted key, and the
+// second loop emits in key order.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Writer {
+  void WriteU64(std::uint64_t v);
+};
+
+struct Ledger {
+  std::unordered_map<std::string, std::uint64_t> balances_;
+  std::map<std::string, std::uint64_t> totals_;
+
+  void Tally() {
+    for (const auto& [account, balance] : balances_) {
+      totals_[account] += balance;
+    }
+  }
+
+  void Export(Writer& w) const {
+    for (const auto& [account, total] : totals_) {
+      w.WriteU64(total);
+    }
+  }
+};

@@ -1,0 +1,26 @@
+// det-expect: clean
+//
+// Inserting into an ordered std::set canonicalizes on the way in: a
+// keyed store discards arrival order, and iterating the set afterward
+// yields key order.
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+
+struct Writer {
+  void WriteU32(std::uint32_t v);
+};
+
+struct IdTable {
+  std::unordered_set<std::uint32_t> ids_;
+
+  void Export(Writer& w) const {
+    std::set<std::uint32_t> canon;
+    for (const std::uint32_t id : ids_) {
+      canon.insert(id);
+    }
+    for (const std::uint32_t id : canon) {
+      w.WriteU32(id);
+    }
+  }
+};

@@ -1,0 +1,28 @@
+// det-expect: clean
+//
+// The canonical fix: collect, std::sort, then emit. The sort is a
+// sanitizer — it makes the sequence a pure function of the set's
+// contents.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+struct Writer {
+  void WriteU32(std::uint32_t v);
+};
+
+struct IdTable {
+  std::unordered_set<std::uint32_t> ids_;
+
+  void Export(Writer& w) const {
+    std::vector<std::uint32_t> sorted_ids;
+    for (const std::uint32_t id : ids_) {
+      sorted_ids.push_back(id);
+    }
+    std::sort(sorted_ids.begin(), sorted_ids.end());
+    for (const std::uint32_t id : sorted_ids) {
+      w.WriteU32(id);
+    }
+  }
+};

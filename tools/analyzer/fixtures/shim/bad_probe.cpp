@@ -1,0 +1,39 @@
+// Negative probe for check_annotation_shim.sh: reads and writes a
+// GUARDED_BY member without holding its mutex, and calls a REQUIRES
+// function unlocked. clang++ -Werror=thread-safety must REJECT this
+// TU (that rejection is the wall working); g++ must accept it (the
+// macros are no-ops there — the wall lives in the clang job).
+#include "util/thread_annotations.h"
+
+namespace probe {
+
+using vegvisir::util::Mutex;
+
+class Counter {
+ public:
+  void Increment() {
+    value_ += 1;  // guarded write, no lock held: analysis error
+  }
+
+  int UnsafeRead() const {
+    return value_;  // guarded read, no lock held: analysis error
+  }
+
+  int Locked() const VEGVISIR_REQUIRES(mu_) { return value_; }
+
+  int CallsLockedUnlocked() const {
+    return Locked();  // REQUIRES(mu_) callee, mu_ not held
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ VEGVISIR_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  c.Increment();
+  return c.UnsafeRead() + c.CallsLockedUnlocked();
+}
+
+}  // namespace probe

@@ -1,0 +1,67 @@
+// Positive probe for check_annotation_shim.sh: exercises every shim
+// macro and wrapper the codebase relies on, in the sanctioned idioms.
+// Must compile warning-free under BOTH g++ (macros expand to nothing)
+// and clang++ -Werror=thread-safety (analysis sees a consistent
+// locking discipline).
+#include <deque>
+
+#include "util/thread_annotations.h"
+
+namespace probe {
+
+using vegvisir::util::ConditionVariable;
+using vegvisir::util::Mutex;
+using vegvisir::util::MutexLock;
+using vegvisir::util::UniqueLock;
+
+class Queue {
+ public:
+  void Push(int v) {
+    const MutexLock guard(mu_);
+    items_.push_back(v);
+    cv_.notify_one();
+  }
+
+  int BlockingPop() {
+    // The shim's documented wait idiom: explicit lock/while/unlock so
+    // the analysis tracks the capability through cv_.wait.
+    mu_.lock();
+    while (items_.empty()) cv_.wait(mu_);
+    const int v = items_.front();
+    items_.pop_front();
+    mu_.unlock();
+    return v;
+  }
+
+  bool TryDrainOne(int* out) {
+    UniqueLock lock(mu_);
+    if (items_.empty()) return false;
+    *out = items_.front();
+    items_.pop_front();
+    lock.unlock();
+    return true;
+  }
+
+  int SizeLocked() const VEGVISIR_REQUIRES(mu_) { return size_cache_; }
+
+  int Size() const {
+    const MutexLock guard(mu_);
+    return SizeLocked();
+  }
+
+ private:
+  mutable Mutex mu_;
+  ConditionVariable cv_;
+  std::deque<int> items_ VEGVISIR_GUARDED_BY(mu_);
+  mutable int size_cache_ VEGVISIR_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Queue q;
+  q.Push(1);
+  int out = 0;
+  (void)q.TryDrainOne(&out);
+  return q.BlockingPop() + q.Size();
+}
+
+}  // namespace probe

@@ -25,6 +25,17 @@ if ! command -v cppcheck >/dev/null 2>&1; then
   exit 0
 fi
 
+# Coverage floor: the wall scans ALL of src/, and these directories in
+# particular hold the lock-heavy code (pool, verifier, tiered store)
+# that motivated it. A reorganization that renames or empties one must
+# update this list consciously, not silently shrink the scan.
+for must_cover in exec storage telemetry; do
+  if ! ls "$ROOT/src/$must_cover"/*.cpp >/dev/null 2>&1; then
+    echo "coverage regression: src/$must_cover has no sources to scan" >&2
+    exit 1
+  fi
+done
+
 current="$(mktemp)"
 trap 'rm -f "$current"' EXIT
 

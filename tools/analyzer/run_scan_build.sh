@@ -30,6 +30,19 @@ scan-build -o "$workdir/reports" --status-bugs \
   cmake --build "$workdir/build" -j \
   > "$workdir/build.log" 2>&1 && scan_status=0 || scan_status=$?
 
+# Coverage floor: the analyzed build must actually have compiled the
+# lock-heavy subsystems (a cache hit or a target-list change that
+# skips them would make "clean" meaningless for exactly the code this
+# wall exists for).
+for tu in src/exec/pool.cpp src/exec/verifier.cpp \
+          src/storage/engine.cpp src/storage/log.cpp; do
+  if ! grep -q "$(basename "$tu")" "$workdir/build.log"; then
+    echo "scan-build coverage regression: $tu never built under the" \
+         "analyzer (see $workdir/build.log)" >&2
+    exit 1
+  fi
+done
+
 # Normalize: scan-build emits `path:line:col: warning: text [checker]`.
 grep -E ':[0-9]+:[0-9]+: warning:' "$workdir/build.log" |
   sed -E "s|^$ROOT/||; s|:([0-9]+):[0-9]+: warning: |:\1:|" |
