@@ -38,7 +38,10 @@ ValidationResult ValidateBlock(const Block& block, const Dag& dag,
     // Consume a batched pre-verification verdict when one exists for
     // this exact (hash, key) pair; anything else — no cache, no
     // entry, or a certificate that changed since the job was enqueued
-    // — verifies synchronously right here.
+    // — verifies synchronously right here. Lookup blocks on in-flight
+    // jobs (EXCLUDES contract): legal here because validation runs on
+    // the serial owner thread with no mutex held — the DAG, CSM and
+    // quarantine it touches are all single-threaded by design.
     std::optional<bool> cached;
     if (presig != nullptr) {
       cached = presig->Lookup(block.hash(), cert->public_key);

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/lock_ranks.h"
+
 namespace vegvisir::exec {
 
 unsigned HardwareConcurrency() {
@@ -107,12 +109,17 @@ void ThreadPool::WorkerLoop(std::size_t index) {
       continue;
     }
     if (stop_) break;
+    // Re-acquires mu_ (rank kExecPool) before returning; the worker
+    // holds nothing else, so the park cannot stall another lock.
     work_cv_.wait(mu_);
   }
   mu_.unlock();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Both degraded paths below run `task` inline on the submitter, so
+  // a Submit under any lock would execute arbitrary code under it.
+  util::lock_debug::AssertNoLocksHeld("ThreadPool::Submit");
   if (!parallel()) {
     task();
     c_tasks_.Inc();
@@ -137,6 +144,9 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  // Unbounded drain: entering with a lock held would hold it for the
+  // whole queue (and for every task this thread helps run).
+  util::lock_debug::AssertNoLocksHeld("ThreadPool::Wait");
   if (!parallel()) return;
   mu_.lock();
   for (;;) {
@@ -146,6 +156,8 @@ void ThreadPool::Wait() {
       continue;
     }
     if (outstanding_ == 0) break;
+    // Re-acquires mu_ (rank kExecPool) before returning — idle_cv_
+    // pairs with the same pool mutex as work_cv_ (lock_ranks.h).
     idle_cv_.wait(mu_);
   }
   mu_.unlock();
@@ -161,6 +173,7 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& body) {
+  util::lock_debug::AssertNoLocksHeld("ThreadPool::ParallelFor");
   if (n == 0) return;
   if (grain == 0) grain = 1;
   if (!parallel()) {

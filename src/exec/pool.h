@@ -65,18 +65,23 @@ class ThreadPool {
   bool parallel() const { return !workers_.empty(); }
 
   // Runs `task` on some thread. Serial mode and queue-full
-  // backpressure both execute inline before returning.
-  void Submit(std::function<void()> task);
+  // backpressure both execute inline before returning — so Submit
+  // can run arbitrary task code on THIS thread and must never be
+  // entered with any mutex held (enforced under VEGVISIR_LOCK_DEBUG;
+  // EXCLUDES covers the pool's own lock for clang).
+  void Submit(std::function<void()> task) VEGVISIR_EXCLUDES(mu_);
 
   // Blocks until every submitted task has finished. The calling
-  // thread helps drain the queues while it waits.
-  void Wait();
+  // thread helps drain the queues while it waits. Scheduler-class
+  // blocking: callers must hold no locks at all.
+  void Wait() VEGVISIR_EXCLUDES(mu_);
 
   // Splits [0, n) into chunks of `grain` and runs `body(begin, end)`
   // across the pool, returning when all chunks are done. Serial mode
-  // runs body(0, n) inline.
+  // runs body(0, n) inline. Blocks like Wait(): no locks held.
   void ParallelFor(std::size_t n, std::size_t grain,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+                   const std::function<void(std::size_t, std::size_t)>& body)
+      VEGVISIR_EXCLUDES(mu_);
 
   std::uint64_t TasksExecutedForTest() const {
     return total_tasks_.load(std::memory_order_relaxed);
@@ -109,7 +114,11 @@ class ThreadPool {
   telemetry::Gauge g_threads_;
   telemetry::Gauge g_utilization_;
 
-  mutable util::Mutex mu_;
+  // Rank kExecPool: tasks run with mu_ dropped (RunTask), so nothing
+  // is ever acquired under it. Both condition variables pair with
+  // this one mutex — idle_cv_ has no mutex of its own (lock_ranks.h
+  // documents the pairing).
+  mutable util::Mutex mu_{util::LockRank::kExecPool};
   util::ConditionVariable work_cv_;  // workers: "a task was queued"
   util::ConditionVariable idle_cv_;  // Wait(): "outstanding hit zero"
   // Bounded MPMC injection queue.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/lock_ranks.h"
+
 namespace vegvisir::exec {
 
 BatchVerifier::BatchVerifier(ThreadPool* pool, telemetry::Telemetry* sink,
@@ -19,11 +21,16 @@ BatchVerifier::BatchVerifier(ThreadPool* pool, telemetry::Telemetry* sink,
 
 BatchVerifier::~BatchVerifier() {
   mu_.lock();
+  // Re-acquires mu_ (rank kExecVerifier) before returning; the
+  // destructor holds nothing else while it drains.
   while (in_flight_ != 0) done_cv_.wait(mu_);
   mu_.unlock();
 }
 
 void BatchVerifier::Enqueue(std::vector<VerifyJob> jobs) {
+  // Null-pool/serial fallback runs jobs inline below, and the
+  // parallel path calls ThreadPool::Submit — both forbid held locks.
+  util::lock_debug::AssertNoLocksHeld("BatchVerifier::Enqueue");
   struct Pending {
     VerifyJob job;
     std::uint64_t gen;
@@ -83,6 +90,11 @@ void BatchVerifier::Record(const ContentId& id, std::uint64_t gen,
 
 std::optional<bool> BatchVerifier::Lookup(const ContentId& id,
                                           const crypto::PublicKey& key) {
+  // Documented-blocking entry point: the wait below is bounded by a
+  // batch drain but unbounded in wall time, so no caller may arrive
+  // holding a mutex (the satellite regression in lock_rank_test.cpp
+  // pins this).
+  util::lock_debug::AssertNoLocksHeld("BatchVerifier::Lookup");
   mu_.lock();
   const auto it = entries_.find(id);
   if (it == entries_.end() || !(it->second.key == key)) {

@@ -58,13 +58,21 @@ class BatchVerifier {
   BatchVerifier& operator=(const BatchVerifier&) = delete;
 
   // Fans the jobs that are not already cached under the same key out
-  // across the pool. Call from the owning (serial) thread only.
-  void Enqueue(std::vector<VerifyJob> jobs);
+  // across the pool. Call from the owning (serial) thread only —
+  // and with NO locks held: the null-pool/serial path runs the
+  // verify jobs inline right here (enforced under
+  // VEGVISIR_LOCK_DEBUG; EXCLUDES covers this cache's own lock for
+  // clang).
+  void Enqueue(std::vector<VerifyJob> jobs) VEGVISIR_EXCLUDES(mu_);
 
   // Verdict for id under `key`: nullopt when no entry exists (or the
   // entry was verified under a different key); otherwise the result,
-  // blocking until an in-flight job lands.
-  std::optional<bool> Lookup(const ContentId& id, const crypto::PublicKey& key);
+  // blocking until an in-flight job lands. Scheduler-class blocking
+  // (DESIGN.md §15): callers must hold no mutex at all — a caller
+  // blocked here while holding a node-side lock would stall every
+  // other user of that lock for a whole batch drain.
+  std::optional<bool> Lookup(const ContentId& id, const crypto::PublicKey& key)
+      VEGVISIR_EXCLUDES(mu_);
 
   // True when an entry (pending or done) exists for id under `key`.
   // Lets callers skip rebuilding payloads for already-enqueued work.
@@ -93,7 +101,10 @@ class BatchVerifier {
   telemetry::Counter c_misses_;
   telemetry::Histogram h_batch_size_;
 
-  mutable util::Mutex mu_;
+  // Rank kExecVerifier: nothing is acquired while held (Enqueue
+  // releases it before fanning out to pool_->Submit). done_cv_ pairs
+  // with this mutex (lock_ranks.h).
+  mutable util::Mutex mu_{util::LockRank::kExecVerifier};
   util::ConditionVariable done_cv_;
   std::map<ContentId, Entry> entries_ VEGVISIR_GUARDED_BY(mu_);
   // Insertion order; may hold stale ids.

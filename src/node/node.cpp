@@ -339,6 +339,11 @@ void Node::RetryQuarantine() {
 }
 
 void Node::PreverifyBlocks(const std::vector<const chain::Block*>& blocks) {
+  // Enqueue (and the Lookup that later consumes the verdicts) are
+  // blocking-class calls: recon/gossip ingest reaches here on the
+  // node's serial thread holding no locks — Node itself owns no
+  // mutex, so the EXCLUDES contracts hold vacuously today and the
+  // rank enforcer pins them the day node-side locks appear.
   presig_.Enqueue(chain::MakeVerifyJobs(blocks, csm_.membership(), &presig_));
 }
 

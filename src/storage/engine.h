@@ -131,8 +131,12 @@ class TieredStore {
   // Guards the log and index objects (the pointers themselves are set
   // once during Open, before the store is shared; the pointees mutate
   // on every append/migrate). The sharded-ingest roadmap item lands
-  // concurrent Fetch/Append on this lock.
-  mutable util::Mutex mu_;
+  // concurrent Fetch/Append on this lock. Rank kStorageEngine — the
+  // one may-block rank: append+fsync under this lock IS the WAL
+  // discipline (DESIGN.md §13/§15), and it orders below
+  // kTelemetryRegistry because Open registers metrics cells while
+  // holding it.
+  mutable util::Mutex mu_{util::LockRank::kStorageEngine};
   std::unique_ptr<BlockIndex> index_ VEGVISIR_PT_GUARDED_BY(mu_);
   std::unique_ptr<BlockLog> log_ VEGVISIR_PT_GUARDED_BY(mu_);
   telemetry::Counter c_append_failures_;

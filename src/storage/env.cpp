@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "storage/format.h"
+#include "util/lock_ranks.h"
 
 namespace vegvisir::storage {
 namespace {
@@ -38,6 +39,9 @@ FileIo::FileIo(sim::IoFaultPlan plan, std::uint64_t seed,
       c_fsyncs_(telemetry->metrics.GetCounter("storage.fsyncs")) {}
 
 Status FileIo::AppendRecord(int fd, ByteSpan record) {
+  // I/O-class blocking: legal under may-block ranks only (in
+  // practice: the storage-engine lock, whose WAL discipline this is).
+  util::lock_debug::AssertBlockingAllowed("FileIo::AppendRecord");
   appends_ += 1;
   const bool armed = !plan_.Empty() && appends_ > plan_.min_appends;
   if (armed && plan_.enospc_after_bytes != 0 &&
@@ -68,6 +72,7 @@ Status FileIo::AppendRecord(int fd, ByteSpan record) {
 }
 
 Status FileIo::Sync(int fd) {
+  util::lock_debug::AssertBlockingAllowed("FileIo::Sync");
   if (::fsync(fd) != 0) {
     return InternalError(std::string("fsync: ") + std::strerror(errno));
   }

@@ -164,8 +164,11 @@ class MetricsRegistry {
   // Guards the name→cell maps and cell deques (the registration
   // path). The cells themselves are NOT guarded: counter/gauge cells
   // are atomics addressed through handles, and deque growth never
-  // invalidates them.
-  mutable util::Mutex mu_;
+  // invalidates them. Rank kTelemetryRegistry — the innermost lock
+  // in the tree: registration runs under the storage-engine lock
+  // (TieredStore::Open wires counters while holding mu_), and
+  // nothing is ever acquired under this one.
+  mutable util::Mutex mu_{util::LockRank::kTelemetryRegistry};
   std::deque<std::atomic<std::uint64_t>> counter_cells_
       VEGVISIR_GUARDED_BY(mu_);
   std::map<std::string, std::atomic<std::uint64_t>*> counters_

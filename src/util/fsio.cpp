@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/lock_ranks.h"
+
 namespace vegvisir {
 namespace {
 
@@ -32,6 +34,7 @@ Status WriteAll(int fd, ByteSpan data) {
 }  // namespace
 
 Status FsyncDir(const std::string& dir) {
+  util::lock_debug::AssertBlockingAllowed("FsyncDir");
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return ErrnoError("open dir " + dir);
   const int rc = ::fsync(fd);
@@ -41,6 +44,7 @@ Status FsyncDir(const std::string& dir) {
 }
 
 Status DurableWriteFile(const std::string& path, ByteSpan data) {
+  util::lock_debug::AssertBlockingAllowed("DurableWriteFile");
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoError("open " + tmp);

@@ -1,0 +1,119 @@
+#include "util/lock_ranks.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vegvisir::util::lock_debug {
+namespace {
+
+std::atomic<ViolationHandler> g_handler{nullptr};
+
+[[maybe_unused]] void Violate(const char* message) {
+  const ViolationHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(message);
+    return;
+  }
+  std::fprintf(stderr, "lock_debug: %s\n", message);
+  std::abort();
+}
+
+}  // namespace
+
+ViolationHandler SetViolationHandlerForTest(ViolationHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+#if defined(VEGVISIR_LOCK_DEBUG)
+
+namespace {
+
+struct HeldLock {
+  const void* mutex = nullptr;
+  LockRank rank = LockRank::kUnranked;
+};
+
+// Deep enough for any sane nesting; the deepest chain in the tree
+// today is 2 (storage engine -> telemetry registry during Open).
+constexpr std::size_t kMaxHeld = 16;
+thread_local HeldLock t_held[kMaxHeld];
+thread_local std::size_t t_depth = 0;
+
+void ViolateF(const char* format, const char* site, int held_rank,
+              int next_rank) {
+  char message[256];
+  std::snprintf(message, sizeof(message), format, site, held_rank, next_rank);
+  Violate(message);
+}
+
+}  // namespace
+
+void OnAcquire(const void* mutex, LockRank rank) {
+  for (std::size_t i = 0; i < t_depth; ++i) {
+    if (t_held[i].mutex == mutex) {
+      ViolateF("%s: re-acquiring a mutex this thread already holds "
+               "(held rank %d, acquiring rank %d)",
+               "Mutex::lock", static_cast<int>(t_held[i].rank),
+               static_cast<int>(rank));
+    }
+    if (rank != LockRank::kUnranked && t_held[i].rank != LockRank::kUnranked &&
+        static_cast<int>(t_held[i].rank) >= static_cast<int>(rank)) {
+      ViolateF("%s: lock-rank ascent violated — holding rank %d, acquiring "
+               "rank %d (see src/util/lock_ranks.h)",
+               "Mutex::lock", static_cast<int>(t_held[i].rank),
+               static_cast<int>(rank));
+    }
+  }
+  if (t_depth < kMaxHeld) {
+    t_held[t_depth++] = HeldLock{mutex, rank};
+  }
+}
+
+void OnTryAcquire(const void* mutex, LockRank rank) {
+  if (t_depth < kMaxHeld) {
+    t_held[t_depth++] = HeldLock{mutex, rank};
+  }
+}
+
+void OnRelease(const void* mutex) {
+  for (std::size_t i = t_depth; i-- > 0;) {
+    if (t_held[i].mutex != mutex) continue;
+    for (std::size_t j = i + 1; j < t_depth; ++j) t_held[j - 1] = t_held[j];
+    --t_depth;
+    return;
+  }
+}
+
+void AssertNoLocksHeld(const char* site) {
+  if (t_depth == 0) return;
+  ViolateF("%s may block indefinitely and must not be entered with any "
+           "mutex held (holding %d lock(s), innermost rank %d)",
+           site, static_cast<int>(t_depth),
+           static_cast<int>(t_held[t_depth - 1].rank));
+}
+
+void AssertBlockingAllowed(const char* site) {
+  for (std::size_t i = 0; i < t_depth; ++i) {
+    if (LockRankMayBlock(t_held[i].rank)) continue;
+    ViolateF("%s: file I/O while holding a lock of rank %d, which is not "
+             "may-block (held depth %d; see LockRankMayBlock in "
+             "src/util/lock_ranks.h)",
+             site, static_cast<int>(t_held[i].rank),
+             static_cast<int>(t_depth));
+  }
+}
+
+void AssertOnlyHeld(const void* mutex, const char* site) {
+  if (t_depth == 1 && t_held[0].mutex == mutex) return;
+  ViolateF("%s: the waited-on mutex must be held and be the only held "
+           "lock (depth=%d, top rank=%d)",
+           site, static_cast<int>(t_depth),
+           t_depth == 0 ? -1 : static_cast<int>(t_held[t_depth - 1].rank));
+}
+
+std::size_t HeldCountForTest() { return t_depth; }
+
+#endif  // VEGVISIR_LOCK_DEBUG
+
+}  // namespace vegvisir::util::lock_debug

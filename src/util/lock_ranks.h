@@ -1,0 +1,122 @@
+// The canonical lock hierarchy (DESIGN.md §15).
+//
+// Every util::Mutex in src/ declares its position in ONE total order,
+// defined here and nowhere else. The rule is strict ascent: a thread
+// may only acquire a mutex whose rank is strictly greater than every
+// rank it already holds. Since all threads agree on the order, no
+// cycle of lock waits can form — deadlock freedom by construction
+// rather than by schedule luck.
+//
+// Three enforcers consume this header and must never drift apart:
+//   - tools/analyzer/lock_graph.py parses the enum below, builds the
+//     observed held->acquired edge graph over src/ and fails CI on
+//     any edge that contradicts the declared order (or any cycle,
+//     even among unranked locks);
+//   - VEGVISIR_LOCK_DEBUG builds keep a thread-local stack of held
+//     ranks and abort on out-of-order acquisition at runtime
+//     (util::Mutex calls the lock_debug hooks below);
+//   - clang thread-safety analysis checks the per-mutex capability
+//     contracts (GUARDED_BY / REQUIRES / EXCLUDES), orthogonal to
+//     order.
+//
+// Blocking-under-lock policy: a thread holding any mutex must not
+// enter an unbounded wait — ThreadPool::Wait/Submit/ParallelFor,
+// BatchVerifier::Lookup/Enqueue, sleeping, or waiting on a condition
+// variable other than the one paired with the (single) held mutex.
+// File I/O (write/fsync) is the one sanctioned exception and only
+// under locks whose rank is marked may-block below: the storage
+// engine's WAL discipline (DESIGN.md §13) deliberately serializes
+// append+fsync under TieredStore::mu_. Adding a rank to
+// LockRankMayBlock is a design decision, not a suppression — argue
+// it in DESIGN.md §15 first.
+//
+// Condition variables inherit the rank of the mutex they pair with:
+//   - ThreadPool::work_cv_ and ThreadPool::idle_cv_ both wait on
+//     ThreadPool::mu_ (kExecPool) — idle_cv_ has no mutex of its own.
+//   - BatchVerifier::done_cv_ waits on BatchVerifier::mu_
+//     (kExecVerifier).
+#pragma once
+
+#include <cstddef>
+
+namespace vegvisir::util {
+
+// Gaps of 10 leave room to slot the per-shard DAG/store mutexes the
+// sharded-ingest roadmap item will add, without renumbering.
+enum class LockRank : int {
+  // Escape hatch for tests and probes only; vegvisir_lint rule 8
+  // rejects unranked util::Mutex members in src/. Unranked locks are
+  // tracked on the held stack (so blocking-under-lock still fires)
+  // but exempt from the ascent check in both directions.
+  kUnranked = 0,
+  // TieredStore::mu_ — the storage engine's WAL lock. Append/fsync
+  // happen under it by design (may-block, see policy above). Lowest
+  // rank: it is held while registering metrics cells during Open,
+  // so it must order below kTelemetryRegistry.
+  kStorageEngine = 10,
+  // BatchVerifier::mu_ — verdict cache + in-flight accounting.
+  kExecVerifier = 20,
+  // ThreadPool::mu_ — the pool's single queue lock. Tasks run with
+  // it dropped, so nothing is ever acquired under it.
+  kExecPool = 30,
+  // MetricsRegistry::mu_ — name->cell registration map. Innermost:
+  // leaf operations only, never calls out while held.
+  kTelemetryRegistry = 40,
+};
+
+// Ranks whose holders may perform file I/O (write/fsync). Keep this
+// list in lockstep with the policy comment above; lock_graph.py
+// parses it.
+constexpr bool LockRankMayBlock(LockRank rank) {
+  return rank == LockRank::kStorageEngine;
+}
+
+// Runtime half of the wall. util::Mutex calls these hooks; with
+// VEGVISIR_LOCK_DEBUG undefined they are empty inlines and the whole
+// namespace costs nothing.
+namespace lock_debug {
+
+// Receives a human-readable description of the violation. The
+// default handler prints it and aborts; tests inject a counter so
+// enforcement is assertable without death tests. Returns the
+// previous handler.
+using ViolationHandler = void (*)(const char* message);
+ViolationHandler SetViolationHandlerForTest(ViolationHandler handler);
+
+#if defined(VEGVISIR_LOCK_DEBUG)
+
+// Called with the mutex NOT yet acquired: flags rank descent before
+// the thread can actually deadlock, then pushes onto the held stack.
+void OnAcquire(const void* mutex, LockRank rank);
+// Called after a successful try_lock: pushes without the ascent
+// check (try_lock cannot deadlock — it fails instead of waiting).
+void OnTryAcquire(const void* mutex, LockRank rank);
+void OnRelease(const void* mutex);
+
+// Scheduler-class blocking (pool Wait/Submit, verifier Lookup):
+// no lock of any rank may be held.
+void AssertNoLocksHeld(const char* site);
+// I/O-class blocking (write/fsync): every held lock must be
+// may-block ranked.
+void AssertBlockingAllowed(const char* site);
+// Condition-variable idiom: `mutex` is held and is the ONLY held
+// lock (waiting while holding a second lock stalls its waiters for
+// an unbounded time).
+void AssertOnlyHeld(const void* mutex, const char* site);
+
+std::size_t HeldCountForTest();
+
+#else  // !VEGVISIR_LOCK_DEBUG
+
+inline void OnAcquire(const void*, LockRank) {}
+inline void OnTryAcquire(const void*, LockRank) {}
+inline void OnRelease(const void*) {}
+inline void AssertNoLocksHeld(const char*) {}
+inline void AssertBlockingAllowed(const char*) {}
+inline void AssertOnlyHeld(const void*, const char*) {}
+inline std::size_t HeldCountForTest() { return 0; }
+
+#endif  // VEGVISIR_LOCK_DEBUG
+
+}  // namespace lock_debug
+}  // namespace vegvisir::util

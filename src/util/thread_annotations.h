@@ -23,18 +23,29 @@
 //     thread-safety equivalent of an inline NOLINT, and those are
 //     banned repo-wide (rule 5). Restructure the code instead.
 //
-// Condition variables: use util::ConditionVariable (an alias for
-// std::condition_variable_any) and wait on the Mutex itself — it is
-// BasicLockable. Keeping the wait loop and its guarded reads in one
-// function body is exactly what lets the analysis see them:
+// Condition variables: use util::ConditionVariable (a thin wrapper
+// over std::condition_variable_any) and wait on the Mutex itself —
+// it is BasicLockable. Keeping the wait loop and its guarded reads
+// in one function body is exactly what lets the analysis see them,
+// and wait() carries VEGVISIR_REQUIRES(mu) so clang checks callers
+// actually hold the mutex they re-acquire:
 //
 //   mu_.lock();
 //   while (in_flight_ != 0) cv_.wait(mu_);
 //   mu_.unlock();
+//
+// Lock hierarchy (src/util/lock_ranks.h, DESIGN.md §15): every Mutex
+// member in src/ declares its rank at construction
+// (`util::Mutex mu_{LockRank::kExecPool};` — vegvisir_lint rule 8).
+// VEGVISIR_LOCK_DEBUG builds enforce strict rank ascent and the
+// blocking-under-lock policy at runtime via the lock_debug hooks;
+// default builds compile them to nothing.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+
+#include "util/lock_ranks.h"
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -92,21 +103,39 @@
 namespace vegvisir::util {
 
 // std::mutex with the capability attribute the analysis needs.
-// BasicLockable, so std::condition_variable_any can wait on it
-// directly and standard algorithms/guards still work where the
-// analysis is off.
+// BasicLockable, so util::ConditionVariable can wait on it directly
+// and standard algorithms/guards still work where the analysis is
+// off. The optional rank places the mutex in the global hierarchy
+// (lock_ranks.h); default-constructed mutexes are kUnranked — legal
+// only outside src/ (tests, probes).
 class VEGVISIR_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  constexpr explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() VEGVISIR_ACQUIRE() { mu_.lock(); }
-  void unlock() VEGVISIR_RELEASE() { mu_.unlock(); }
-  bool try_lock() VEGVISIR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() VEGVISIR_ACQUIRE() {
+    // Hook first: rank descent is reported before the thread can
+    // actually park on a cycle.
+    lock_debug::OnAcquire(this, rank_);
+    mu_.lock();
+  }
+  void unlock() VEGVISIR_RELEASE() {
+    lock_debug::OnRelease(this);
+    mu_.unlock();
+  }
+  bool try_lock() VEGVISIR_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) lock_debug::OnTryAcquire(this, rank_);
+    return acquired;
+  }
+
+  LockRank rank() const { return rank_; }
 
  private:
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
 };
 
 // RAII guard: the std::lock_guard shape, visible to the analysis.
@@ -155,7 +184,32 @@ class VEGVISIR_SCOPED_CAPABILITY UniqueLock {
 // The condition variable that pairs with util::Mutex. Waits take the
 // Mutex itself (BasicLockable), which keeps the guarded predicate
 // reads inside the annotated caller where the analysis can check
-// them.
-using ConditionVariable = std::condition_variable_any;
+// them; REQUIRES(mu) makes "the wait re-acquires mu before
+// returning" a checked contract instead of a comment. The documented
+// idiom is the file-header loop: lock, `while (pred) cv.wait(mu)`,
+// unlock — and under VEGVISIR_LOCK_DEBUG the wait asserts that `mu`
+// is the only lock the thread holds (waiting while holding a second
+// lock stalls that lock's waiters unboundedly; lock_graph.py flags
+// the same shape statically).
+class ConditionVariable {
+ public:
+  ConditionVariable() = default;
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) VEGVISIR_REQUIRES(mu) {
+    lock_debug::AssertOnlyHeld(&mu, "ConditionVariable::wait");
+    // The underlying wait unlocks/relocks `mu` through the
+    // BasicLockable interface, so the lock_debug held stack stays
+    // accurate across the park (Mutex::unlock/lock run the hooks).
+    cv_.wait(mu);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
 
 }  // namespace vegvisir::util

@@ -1,0 +1,30 @@
+// lock-expect: sink=lock-order
+//
+// The acquisition happens inside a VEGVISIR_ACQUIRE-annotated helper,
+// so the caller's body never names the mutex it takes. The annotation
+// is the contract: calling the helper while holding a higher rank is
+// an inversion even though the helper itself is correct.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Exporter {
+ public:
+  void Export() {
+    util::MutexLock names(registry_mu_);  // rank 40
+    LockQueue();                          // acquires rank 30 under it
+    queued_ += 1;
+    UnlockQueue();
+  }
+
+ private:
+  void LockQueue() VEGVISIR_ACQUIRE(pool_mu_) { pool_mu_.lock(); }
+  void UnlockQueue() VEGVISIR_RELEASE(pool_mu_) { pool_mu_.unlock(); }
+
+  util::Mutex registry_mu_{util::LockRank::kTelemetryRegistry};
+  util::Mutex pool_mu_{util::LockRank::kExecPool};
+  int queued_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,31 @@
+// lock-expect: sink=cv-wait
+//
+// ConditionVariable::wait releases exactly ONE mutex while parked.
+// Waiting with a second lock held keeps that second lock across the
+// entire park — the documented idiom requires the paired mutex to be
+// the only lock held.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Mailbox {
+ public:
+  void AwaitMessage() {
+    util::MutexLock outer(index_mu_);  // rank 10: stays held while parked
+    inner_mu_.lock();                  // rank 20: the cv's mutex
+    while (messages_ == 0) {
+      cv_.wait(inner_mu_);
+    }
+    messages_ -= 1;
+    inner_mu_.unlock();
+  }
+
+ private:
+  util::Mutex index_mu_{util::LockRank::kStorageEngine};
+  util::Mutex inner_mu_{util::LockRank::kExecVerifier};
+  util::ConditionVariable cv_;
+  int messages_ = 0;
+};
+
+}  // namespace fx

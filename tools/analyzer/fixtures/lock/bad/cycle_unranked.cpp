@@ -1,0 +1,30 @@
+// lock-expect: sink=lock-cycle; sink=unranked-mutex
+//
+// Two unranked file-scope mutexes taken in opposite orders by two
+// threads: the classic AB/BA deadlock. Two findings: the cycle in
+// the acquisition graph, and the missing ranks that would have
+// rejected one of the two orders at compile review time.
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+util::Mutex g_account;
+util::Mutex g_journal;
+int g_balance = 0;
+int g_entries = 0;
+
+void TransferThenLog() {
+  util::MutexLock account(g_account);
+  util::MutexLock journal(g_journal);
+  g_balance -= 1;
+  g_entries += 1;
+}
+
+void LogThenTransfer() {
+  util::MutexLock journal(g_journal);
+  util::MutexLock account(g_account);
+  g_entries += 1;
+  g_balance += 1;
+}
+
+}  // namespace fx

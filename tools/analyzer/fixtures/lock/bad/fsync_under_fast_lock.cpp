@@ -1,0 +1,31 @@
+// lock-expect: sink=io-under-lock source=DurableWriteFile
+//
+// DurableWriteFile is write+fsync+rename+dir-fsync — milliseconds on
+// flash. Under a fast lock (kExecVerifier is not may-block) that
+// stall serializes behind the device. Only the storage-engine rank
+// sanctions I/O under lock (the WAL discipline).
+#include <string>
+
+#include "util/fsio.h"
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Snapshotter {
+ public:
+  void Persist() {
+    util::MutexLock lock(mu_);
+    version_ += 1;
+    DurableWriteFile(path_, Encode());
+  }
+
+ private:
+  vegvisir::ByteSpan Encode();
+
+  util::Mutex mu_{util::LockRank::kExecVerifier};
+  std::string path_;
+  int version_ = 0;
+};
+
+}  // namespace fx

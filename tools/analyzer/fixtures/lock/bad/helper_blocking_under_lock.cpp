@@ -1,0 +1,34 @@
+// lock-expect: sink=blocking-call source=DrainPool
+//
+// The blocking call hides one level down: DrainPool itself is clean
+// (no lock held inside), but its summary marks it scheduler-class
+// blocking, so calling it with the batch lock held is the same bug
+// as calling Wait directly.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace exec {
+class ThreadPool;
+}
+
+namespace fx {
+
+class Batcher {
+ public:
+  void CloseBatch() {
+    util::MutexLock lock(mu_);
+    batches_ += 1;
+    DrainPool();
+  }
+
+ private:
+  void DrainPool() {
+    pool_->Wait();  // legal here: nothing held inside this helper
+  }
+
+  util::Mutex mu_{util::LockRank::kExecVerifier};
+  exec::ThreadPool* pool_ = nullptr;
+  int batches_ = 0;
+};
+
+}  // namespace fx

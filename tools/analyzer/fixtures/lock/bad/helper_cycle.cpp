@@ -1,0 +1,42 @@
+// lock-expect: sink=lock-cycle; sink=lock-order
+//
+// The inversion hides behind a helper: each entry point holds its
+// own mutex and calls a helper that acquires the other. The
+// interprocedural summary folds the helper's acquisition into the
+// caller, closing the A->B / B->A cycle; the B->A edge additionally
+// contradicts the declared ranks.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class TwoSided {
+ public:
+  void FromVerifier() {
+    util::MutexLock held(verifier_mu_);  // rank 20
+    TouchPool();                         // acquires rank 30: fine
+  }
+
+  void FromPool() {
+    util::MutexLock held(pool_mu_);  // rank 30
+    TouchVerifier();                 // acquires rank 20: inversion
+  }
+
+ private:
+  void TouchPool() {
+    util::MutexLock inner(pool_mu_);
+    pool_work_ += 1;
+  }
+
+  void TouchVerifier() {
+    util::MutexLock inner(verifier_mu_);
+    verifier_work_ += 1;
+  }
+
+  util::Mutex verifier_mu_{util::LockRank::kExecVerifier};
+  util::Mutex pool_mu_{util::LockRank::kExecPool};
+  int pool_work_ = 0;
+  int verifier_work_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,32 @@
+// lock-expect: sink=blocking-call source=Lookup
+//
+// BatchVerifier::Lookup blocks on in-flight verification jobs (its
+// EXCLUDES contract documents it as scheduler-class blocking). A
+// caller holding a node-side mutex would couple that mutex's waiters
+// to the verifier pipeline's latency.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace exec {
+class BatchVerifier;
+}
+
+namespace fx {
+
+class Validator {
+ public:
+  bool CheckSignature() {
+    util::MutexLock lock(mu_);
+    checks_ += 1;
+    return Consume(verifier_->Lookup(checks_, checks_));
+  }
+
+ private:
+  static bool Consume(int verdict);
+
+  util::Mutex mu_{util::LockRank::kStorageEngine};
+  exec::BatchVerifier* verifier_ = nullptr;
+  int checks_ = 0;
+};
+
+}  // namespace fx

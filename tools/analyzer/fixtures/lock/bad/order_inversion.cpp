@@ -1,0 +1,27 @@
+// lock-expect: sink=lock-order
+//
+// Both mutexes are ranked, but the acquisition order contradicts the
+// declared hierarchy: kTelemetryRegistry (40) is held while taking
+// kExecVerifier (20). No cycle exists yet — the point of ranks is to
+// reject the first half of a future deadlock before the second half
+// is written.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Recorder {
+ public:
+  void Record() {
+    util::MutexLock names(registry_mu_);
+    util::MutexLock results(verifier_mu_);
+    count_ += 1;
+  }
+
+ private:
+  util::Mutex registry_mu_{util::LockRank::kTelemetryRegistry};
+  util::Mutex verifier_mu_{util::LockRank::kExecVerifier};
+  int count_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// lock-expect: sink=blocking-call source=sleep
+//
+// A timed sleep while holding a lock converts every waiter's latency
+// into the sleep duration. Backoff must release first.
+#include <chrono>
+#include <thread>
+
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Backoff {
+ public:
+  void RetryLater() {
+    util::MutexLock lock(mu_);
+    attempts_ += 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+ private:
+  util::Mutex mu_{util::LockRank::kExecPool};
+  int attempts_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,32 @@
+// lock-expect: sink=blocking-call source=Submit
+//
+// ThreadPool::Submit degrades to inline execution (serial mode, full
+// queue), so it can run arbitrary task code on the submitting thread.
+// Entered with a mutex held, that task code inherits the lock — and
+// anything it acquires nests under it invisibly.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace exec {
+class ThreadPool;
+}
+
+namespace fx {
+
+class Dispatcher {
+ public:
+  void Dispatch() {
+    util::MutexLock lock(mu_);
+    queued_ += 1;
+    pool_->Submit(MakeJob());
+  }
+
+ private:
+  static int MakeJob();
+
+  util::Mutex mu_{util::LockRank::kExecVerifier};
+  exec::ThreadPool* pool_ = nullptr;
+  int queued_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// lock-expect: sink=unranked-mutex
+//
+// A util::Mutex member without a LockRank brace initializer. The
+// mutex is used correctly here, but an unranked mutex is invisible
+// to both the static rank check and the runtime enforcer — every
+// mutex must declare its place in the hierarchy.
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Cache {
+ public:
+  void Put(int value) {
+    util::MutexLock lock(mu_);
+    last_ = value;
+  }
+
+ private:
+  util::Mutex mu_;  // missing LockRank
+  int last_ = 0;
+};
+
+}  // namespace fx

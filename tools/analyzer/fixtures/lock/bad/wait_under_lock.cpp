@@ -1,0 +1,30 @@
+// lock-expect: sink=blocking-call source=Wait
+//
+// ThreadPool::Wait drains every outstanding task and may park the
+// caller on idle_cv_. Holding ANY lock across it — may-block rank or
+// not — stalls every thread that needs that lock for as long as the
+// pool takes.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace exec {
+class ThreadPool;
+}
+
+namespace fx {
+
+class Flusher {
+ public:
+  void FlushAndDrain() {
+    util::MutexLock lock(mu_);
+    dirty_ = 0;
+    pool_->Wait();  // scheduler-class blocking under the lock
+  }
+
+ private:
+  util::Mutex mu_{util::LockRank::kStorageEngine};
+  exec::ThreadPool* pool_ = nullptr;
+  int dirty_ = 0;
+};
+
+}  // namespace fx

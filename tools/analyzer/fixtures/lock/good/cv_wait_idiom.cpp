@@ -1,0 +1,27 @@
+// lock-expect: clean
+//
+// The documented ConditionVariable idiom: the paired mutex is the
+// ONLY lock held at the wait site, so parking releases everything.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Queue {
+ public:
+  void PopBlocking() {
+    mu_.lock();
+    while (depth_ == 0) {
+      cv_.wait(mu_);
+    }
+    depth_ -= 1;
+    mu_.unlock();
+  }
+
+ private:
+  util::Mutex mu_{util::LockRank::kExecPool};
+  util::ConditionVariable cv_;
+  int depth_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// lock-expect: clean
+//
+// I/O under the storage-engine rank is sanctioned: kStorageEngine is
+// the designated may-block rank (the WAL append+fsync discipline
+// requires serializing the device behind the engine mutex).
+#include <string>
+
+#include "util/fsio.h"
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Wal {
+ public:
+  void AppendDurable() {
+    util::MutexLock lock(mu_);
+    sequence_ += 1;
+    DurableWriteFile(path_, Encode());
+  }
+
+ private:
+  vegvisir::ByteSpan Encode();
+
+  util::Mutex mu_{util::LockRank::kStorageEngine};
+  std::string path_;
+  int sequence_ = 0;
+};
+
+}  // namespace fx

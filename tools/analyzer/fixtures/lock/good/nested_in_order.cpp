@@ -1,0 +1,27 @@
+// lock-expect: clean
+//
+// Strict rank ascent: storage-engine (10) → telemetry-registry (40).
+// This is the one real nesting edge in the tree (TieredStore::Open
+// registering metrics under mu_) and it is legal.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Store {
+ public:
+  void RecordAppend() {
+    util::MutexLock engine(engine_mu_);
+    appended_ += 1;
+    util::MutexLock registry(registry_mu_);
+    counters_ += 1;
+  }
+
+ private:
+  util::Mutex engine_mu_{util::LockRank::kStorageEngine};
+  util::Mutex registry_mu_{util::LockRank::kTelemetryRegistry};
+  int appended_ = 0;
+  int counters_ = 0;
+};
+
+}  // namespace fx

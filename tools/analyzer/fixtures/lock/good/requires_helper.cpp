@@ -1,0 +1,26 @@
+// lock-expect: clean
+//
+// A REQUIRES-annotated helper called with its lock already held must
+// not produce a self-edge or a re-acquisition finding: the walker
+// seeds the helper's held-set from the annotation and excludes the
+// required mutex from its acquisition summary.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace fx {
+
+class Ledger {
+ public:
+  void Post() {
+    util::MutexLock lock(mu_);
+    BumpLocked();
+  }
+
+ private:
+  void BumpLocked() VEGVISIR_REQUIRES(mu_) { entries_ += 1; }
+
+  util::Mutex mu_{util::LockRank::kExecPool};
+  int entries_ = 0;
+};
+
+}  // namespace fx

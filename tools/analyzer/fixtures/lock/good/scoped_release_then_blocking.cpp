@@ -1,0 +1,36 @@
+// lock-expect: clean
+//
+// The guard's scope closes before the blocking call: snapshot state
+// under the lock, release, then drain the pool lock-free. This is
+// the pattern the wall pushes violations toward.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace exec {
+class ThreadPool;
+}
+
+namespace fx {
+
+class Collector {
+ public:
+  void FlushThenDrain() {
+    int snapshot = 0;
+    {
+      util::MutexLock lock(mu_);
+      snapshot = pending_;
+      pending_ = 0;
+    }
+    Publish(snapshot);
+    pool_->Wait();  // no lock held here
+  }
+
+ private:
+  static void Publish(int n);
+
+  util::Mutex mu_{util::LockRank::kExecVerifier};
+  exec::ThreadPool* pool_ = nullptr;
+  int pending_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,32 @@
+// lock-expect: clean
+//
+// UniqueLock released explicitly before the blocking call — the
+// walker tracks .unlock() on the guard object, not just scope exit.
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace exec {
+class BatchVerifier;
+}
+
+namespace fx {
+
+class Prefetcher {
+ public:
+  bool Probe() {
+    util::UniqueLock lock(mu_);
+    const int key = next_key_;
+    next_key_ += 1;
+    lock.unlock();
+    return Consume(verifier_->Lookup(key, key));  // lock-free by now
+  }
+
+ private:
+  static bool Consume(int verdict);
+
+  util::Mutex mu_{util::LockRank::kExecVerifier};
+  exec::BatchVerifier* verifier_ = nullptr;
+  int next_key_ = 0;
+};
+
+}  // namespace fx

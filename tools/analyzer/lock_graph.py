@@ -1,0 +1,983 @@
+#!/usr/bin/env python3
+"""Lock-hierarchy analyzer: proves the declared lock ranks are the
+real ones and that nothing blocks while holding a lock.
+
+Vegvisir's locking discipline (src/util/lock_ranks.h, DESIGN.md
+section 15) is strict rank ascent: a thread may only acquire a mutex
+whose rank is strictly greater than every rank it already holds,
+which makes the lock graph cycle-free by construction. The runtime
+enforcer (VEGVISIR_LOCK_DEBUG) checks the discipline on the paths a
+test happens to execute; this tool checks every path statically.
+
+What it builds: every lock acquisition site (util::MutexLock /
+util::UniqueLock guards, explicit .lock()/.unlock() pairs, and
+VEGVISIR_ACQUIRE-annotated helpers) across the scanned directories,
+walked per function with a held-locks stack (brace-aware: guards die
+at scope end, early-return blocks revert their effects) and
+interprocedural summaries (a callee's acquisitions become the
+caller's edges, iterated so ctor chains like
+TieredStore::Open -> BlockLog -> FileIo -> MetricsRegistry::GetCounter
+converge). Every held-lock -> acquired-lock pair is an edge.
+
+What it checks:
+
+  lock-cycle        a cycle in the acquisition graph (deadlock with
+                    the right interleaving), including self-loops.
+  lock-order        an edge that contradicts the declared ranks:
+                    rank(held) >= rank(acquired).
+  blocking-call     scheduler-class blocking under ANY lock:
+                    ThreadPool::{Wait,Submit,ParallelFor},
+                    BatchVerifier::{Lookup,Enqueue}, sleep, or any
+                    helper whose summary reaches one of those.
+  io-under-lock     file I/O (write/fsync syscalls, FileIo methods,
+                    DurableWriteFile/FsyncDir) while holding a lock
+                    whose rank is not may-block (LockRankMayBlock):
+                    append+fsync under the storage-engine lock IS the
+                    WAL discipline, anywhere else it is a stall.
+  cv-wait           a ConditionVariable::wait outside the documented
+                    idiom (the paired mutex must be the ONLY held
+                    lock).
+  unranked-mutex    a util::Mutex member without a LockRank brace
+                    initializer (vegvisir_lint rule 8 catches these
+                    too; this is the cross-check on the graph side).
+  dead-rank         a rank declared in lock_ranks.h that no mutex
+                    uses (the declared hierarchy must match the
+                    observed one in both directions).
+
+The front-end is the same tokens front-end as wire_taint.py /
+det_taint.py (file list from compile_commands.json or --src-root).
+src/util/thread_annotations.h and src/util/lock_ranks.* are the
+modeled primitives themselves and are never scanned — which is what
+lets the allow-file stay empty.
+
+Suppressions live ONLY in tools/analyzer/lock_graph_allow.txt (one
+reviewed file; entries must argue why an edge or blocking site is
+safe). Inline annotations in src/ are rejected by
+tools/lint/vegvisir_lint.py.
+
+Usage:
+  lock_graph.py [--compile-commands build/compile_commands.json]
+                [--src-root src] [--allow tools/analyzer/lock_graph_allow.txt]
+                [--frontend auto|clang|tokens] [--json FILE] [--selftest]
+
+Exit 0 when clean; 1 with one `file:line: [sink] message` per finding.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import shutil
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import wire_taint as wt  # noqa: E402  (tokens front-end + allow-file)
+
+# Directories that own a mutex or run under one. serial/, crypto/,
+# csm/, crdt/, sim/, support/ and baseline/ are single-threaded value
+# code with no locking (grep-verified; widen the day one locks).
+SCAN_DIRS = ("chain", "exec", "node", "recon", "storage", "telemetry",
+             "util")
+
+# The lock primitives themselves: these files DEFINE Mutex, the rank
+# table and the debug hooks, so they are modeled, never scanned.
+MODEL_FILES = {
+    "src/util/thread_annotations.h",
+    "src/util/lock_ranks.h",
+    "src/util/lock_ranks.cpp",
+}
+
+RANKS_HEADER = "src/util/lock_ranks.h"
+
+# Scheduler-class blocking entry points: may park the calling thread
+# behind work that needs other threads (or this one) to progress.
+# Banned under any held lock, may-block rank or not.
+SCHED_METHODS = {
+    ("ThreadPool", "Wait"), ("ThreadPool", "Submit"),
+    ("ThreadPool", "ParallelFor"),
+    ("BatchVerifier", "Lookup"), ("BatchVerifier", "Enqueue"),
+}
+# I/O-class blocking: bounded device stalls. Legal only when every
+# held lock's rank is may-block (LockRankMayBlock).
+IO_METHODS = {
+    ("FileIo", "AppendRecord"), ("FileIo", "Sync"),
+}
+SLEEP_RE = re.compile(r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(")
+IO_FREE_RE = re.compile(r"\b(DurableWriteFile|FsyncDir)\s*\(")
+SYSCALL_RE = re.compile(
+    r"::\s*(open|openat|pread|pwrite|write|read|fsync|fdatasync|"
+    r"ftruncate|msync|mmap|rename|unlink|fstat)\s*\(")
+
+GUARD_RE = re.compile(
+    r"(?:\bconst\s+)?(?:\b(?:util|std)\s*::\s*)?"
+    r"\b(MutexLock|UniqueLock|scoped_lock|lock_guard|unique_lock)\s*"
+    r"(?:<[^<>]*>)?\s+(\w+)\s*([({])")
+LOCK_CALL_RE = re.compile(
+    r"([\w.\->\[\]]*\w)\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\)")
+CV_WAIT_RE = re.compile(
+    r"([\w.\->]+)\s*(?:\.|->)\s*wait\s*\(\s*([^()]*?)\s*\)")
+METHOD_CALL_RE = re.compile(
+    r"([\w\]][\w.\->\[\]]*)\s*(?:\.|->)\s*(\w+)\s*\(")
+QUALIFIED_CALL_RE = re.compile(r"\b(\w+)\s*::\s*(\w+)\s*\(")
+BARE_CALL_RE = re.compile(r"(?<![\w.>:])(\w+)\s*\(")
+MAKE_UNIQUE_RE = re.compile(
+    r"\b(?:make_unique|make_shared)\s*<\s*((?:\w+\s*::\s*)*\w+)")
+NEW_RE = re.compile(r"\bnew\s+((?:\w+\s*::\s*)*\w+)")
+
+MUTEX_DECL_RE = re.compile(
+    r"(?:\bmutable\s+)?\butil\s*::\s*Mutex\s+(\w+)\s*"
+    r"(?:\{\s*(?:\w+\s*::\s*)*(k\w+)\s*\})?\s*;")
+CV_DECL_RE = re.compile(r"\butil\s*::\s*ConditionVariable\s+(\w+)\s*;")
+ANNOT_RE = re.compile(r"VEGVISIR_(REQUIRES|ACQUIRE|RELEASE)\s*\(")
+
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(\w+)\s*(?:final\s*)?(?::[^{;()]*)?\{")
+
+PTR_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:unique_ptr|shared_ptr)\s*<\s*"
+    r"((?:\w+\s*::\s*)*\w+)\s*>\s+(\w+)\s*"
+    r"(?:VEGVISIR_\w+\s*\([^()]*\)\s*)?[;={(]")
+RAW_DECL_RE = re.compile(
+    r"\b((?:\w+\s*::\s*)*[A-Z]\w*)\s*(?:const\s+)?[*&]\s*(\w+)\s*"
+    r"(?:VEGVISIR_\w+\s*\([^()]*\)\s*)?[;=,)({]")
+VAL_DECL_RE = re.compile(
+    r"\b((?:\w+\s*::\s*)*[A-Z]\w*)\s+(\w+)\s*"
+    r"(?:VEGVISIR_\w+\s*\([^()]*\)\s*)?[;={]")
+
+LAMBDA_HEADER_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?"
+    r"(?:noexcept\s*)?(?:->\s*[\w:<>&*\s]+?\s*)?$")
+LAMBDA_INTRO_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?"
+    r"(?:noexcept\s*)?(?:->\s*[\w:<>&*\s]+?\s*)?\{")
+TERMINATOR_RE = re.compile(
+    r"(?:\breturn\b[^;{}]*|\bbreak\b|\bcontinue\b|\babort\s*\(\s*\)|"
+    r"\bexit\s*\([^()]*\))\s*;?\s*$")
+
+NOT_METHODS = {"lock", "unlock", "try_lock", "wait", "notify_one",
+               "notify_all"}
+
+SLEEP_SINK = "blocking-call"
+
+
+def strip_type(type_text):
+    """`exec::BatchVerifier` -> `BatchVerifier`."""
+    return re.sub(r"\s+", "", type_text).split("::")[-1]
+
+
+def load_ranks(root):
+    """Parses the LockRank enum and LockRankMayBlock out of
+    src/util/lock_ranks.h — the single source of truth the graph is
+    checked against."""
+    text = wt.strip_code((root / RANKS_HEADER).read_text())
+    m = re.search(r"enum\s+class\s+LockRank[^{]*\{([^}]*)\}", text)
+    if not m:
+        sys.exit(f"{RANKS_HEADER}: LockRank enum not found")
+    ranks = {}
+    for name, val in re.findall(r"\b(k\w+)\s*=\s*(\d+)", m.group(1)):
+        ranks[name] = int(val)
+    mb = re.search(r"LockRankMayBlock\s*\([^()]*\)\s*\{([^}]*)\}", text)
+    may_block = set(re.findall(r"\b(k\w+)\b", mb.group(1))) if mb else set()
+    return ranks, may_block & set(ranks)
+
+
+class FnInfo:
+    def __init__(self, path, name, cls, params, body, line):
+        self.path = path
+        self.name = name
+        self.cls = cls                 # enclosing/qualifying class or ""
+        self.qual = f"{cls}::{name}" if cls else name
+        self.params = params
+        self.body = body
+        self.line = line
+        self.local_types = {}          # var -> stripped type
+        self.required = []             # mutex ids from VEGVISIR_REQUIRES
+
+
+class FnSummary:
+    def __init__(self):
+        self.acquires = {}             # mutex id -> line
+        self.blocking = None           # None | 'io' | 'sched'
+
+    def bump_blocking(self, level):
+        order = {None: 0, "io": 1, "sched": 2}
+        if order[level] > order[self.blocking]:
+            self.blocking = level
+
+
+class Program:
+    """One whole analysis: files in, findings + edge graph out."""
+
+    def __init__(self, ranks, may_block, check_dead_ranks=False):
+        self.ranks = ranks
+        self.may_block_ranks = may_block
+        self.check_dead_ranks = check_dead_ranks
+        self.texts = {}                # rel -> stripped text
+        self.mutexes = {}              # id -> (rank_name, rel, line)
+        self.mutex_members = {}        # cls -> {name: id}
+        self.file_mutexes = {}         # rel -> {name: id}
+        self.cv_names = set()
+        self.file_types = {}           # rel -> {name: type}
+        self.global_types = {}         # name -> set(types)
+        self.annotations = {}          # (cls, name) -> {kind: [raw args]}
+        self.functions = []
+        self.findings = []
+        self.edges = {}                # (src, dst) -> (rel, line, fn)
+        self.summaries = {}
+
+    # -- construction ---------------------------------------------------
+    def add_file(self, rel, text):
+        self.texts[rel] = wt.strip_code(text)
+
+    def class_spans(self, stripped):
+        spans = []
+        for m in CLASS_RE.finditer(stripped):
+            if re.search(r"\benum\s+$", stripped[:m.start()]):
+                continue
+            end = wt.match_brace(stripped, m.end() - 1)
+            spans.append((m.group(2), m.start(), end))
+        return spans
+
+    @staticmethod
+    def innermost(spans, pos):
+        best, size = "", None
+        for name, s, e in spans:
+            if s <= pos < e and (size is None or e - s < size):
+                best, size = name, e - s
+        return best
+
+    def build(self):
+        per_file_spans = {}
+        # Pass A: declarations (mutexes, cvs, member/var types).
+        for rel, stripped in self.texts.items():
+            spans = self.class_spans(stripped)
+            per_file_spans[rel] = spans
+            self.file_mutexes.setdefault(rel, {})
+            self.file_types.setdefault(rel, {})
+            for m in MUTEX_DECL_RE.finditer(stripped):
+                name, rank = m.group(1), m.group(2) or "kUnranked"
+                cls = self.innermost(spans, m.start())
+                mid = f"{cls}::{name}" if cls else f"{rel}::{name}"
+                line = stripped.count("\n", 0, m.start()) + 1
+                self.mutexes[mid] = (rank, rel, line)
+                if cls:
+                    self.mutex_members.setdefault(cls, {})[name] = mid
+                else:
+                    self.file_mutexes[rel][name] = mid
+            for m in CV_DECL_RE.finditer(stripped):
+                self.cv_names.add(m.group(1))
+            for pat in (PTR_DECL_RE, RAW_DECL_RE, VAL_DECL_RE):
+                for m in pat.finditer(stripped):
+                    typ, name = strip_type(m.group(1)), m.group(2)
+                    self.file_types[rel].setdefault(name, typ)
+                    self.global_types.setdefault(name, set()).add(typ)
+        # Pass B: thread-safety annotations (REQUIRES on declarations
+        # in headers covers out-of-line definitions in the .cpp).
+        for rel, stripped in self.texts.items():
+            spans = per_file_spans[rel]
+            for m in ANNOT_RE.finditer(stripped):
+                kind = m.group(1)
+                args = wt.split_args(stripped, m.end() - 1)
+                owner = self.annotated_function(stripped, m.start())
+                if owner is None:
+                    continue
+                cls = self.innermost(spans, m.start())
+                self.annotations.setdefault((cls, owner), {}).setdefault(
+                    kind, []).extend(a for a in args if a)
+        # Pass C: function extraction with class attribution.
+        for rel, stripped in self.texts.items():
+            spans = per_file_spans[rel]
+            offsets = [0]
+            for i, ch in enumerate(stripped):
+                if ch == "\n":
+                    offsets.append(i + 1)
+            for fn in wt.extract_functions(rel, stripped):
+                pos = offsets[min(fn.line - 1, len(offsets) - 1)]
+                cls = self.innermost(spans, pos)
+                head = fn.header[:fn.header.find("(")].rstrip() \
+                    if "(" in fn.header else fn.header
+                qm = re.search(r"(\w+)\s*::\s*[~\w]+$", head)
+                if qm:
+                    cls = qm.group(1)
+                info = FnInfo(rel, fn.name, cls, fn.params,
+                              self.ctor_init(fn.header) + fn.body,
+                              fn.line)
+                info.local_types = self.collect_local_types(info)
+                self.functions.append(info)
+        # Resolve REQUIRES seeds now that every decl is known.
+        for info in self.functions:
+            anns = self.annotations.get((info.cls, info.name), {})
+            for raw in anns.get("REQUIRES", []):
+                info.required.append(self.resolve_mutex(raw, info))
+
+    @staticmethod
+    def ctor_init(header):
+        """Recovers a constructor's member-init list so calls inside
+        member initializers (metrics registration is the common case)
+        are walked. extract_functions keys on the LAST close-paren of
+        the header, which is the end of the init list itself when
+        initializers are paren-style — so do it properly here: match
+        the parameter list's parens and take what follows the `:`."""
+        open_paren = header.find("(")
+        if open_paren < 0:
+            return ""
+        close = wt.match_paren(header, open_paren)  # just past ')'
+        tail = header[close:].lstrip()
+        if tail.startswith(":") and not tail.startswith("::"):
+            return tail[1:] + "; "
+        return ""
+
+    @staticmethod
+    def annotated_function(stripped, annot_pos):
+        """Name of the function whose declaration carries the
+        annotation at annot_pos (scans back over the param list)."""
+        i = annot_pos - 1
+        while i >= 0:
+            seg = stripped[:i + 1].rstrip()
+            i = len(seg) - 1
+            if seg.endswith(("const", "noexcept", "override")):
+                i = seg.rfind(
+                    next(w for w in ("const", "noexcept", "override")
+                         if seg.endswith(w)))
+                i -= 1
+                continue
+            break
+        if i < 0 or stripped[i] != ")":
+            return None
+        depth = 0
+        while i >= 0:
+            if stripped[i] == ")":
+                depth += 1
+            elif stripped[i] == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            i -= 1
+        m = re.search(r"([\w~]+)\s*$", stripped[:i])
+        return m.group(1) if m else None
+
+    def collect_local_types(self, fn):
+        out = {}
+        for part in self.split_params(fn.params):
+            part = part.split("=")[0].strip()
+            m = re.search(r"(\w+)\s*$", part)
+            if not m:
+                continue
+            name, typ = m.group(1), part[:m.start()]
+            pm = re.search(r"(?:unique_ptr|shared_ptr)\s*<\s*"
+                           r"((?:\w+\s*::\s*)*\w+)", typ)
+            if pm:
+                out[name] = strip_type(pm.group(1))
+                continue
+            tm = re.findall(r"(?:\w+\s*::\s*)*[A-Z]\w*", typ)
+            if tm:
+                out[name] = strip_type(tm[-1])
+        body = fn.body
+        for pat in (PTR_DECL_RE, RAW_DECL_RE, VAL_DECL_RE):
+            for m in pat.finditer(body):
+                out.setdefault(m.group(2), strip_type(m.group(1)))
+        # Locals declared with a ctor-call terminator, which the
+        # class-scope regexes deliberately exclude (function decls).
+        for m in re.finditer(
+                r"\b(?:std\s*::\s*)?(?:unique_ptr|shared_ptr)\s*<\s*"
+                r"((?:\w+\s*::\s*)*\w+)\s*>\s+(\w+)\s*\(", body):
+            out.setdefault(m.group(2), strip_type(m.group(1)))
+        return out
+
+    @staticmethod
+    def split_params(params_text):
+        parts, current, depth = [], [], 0
+        for ch in params_text:
+            if ch in "<(":
+                depth += 1
+            elif ch in ">)":
+                depth -= 1
+            if ch == "," and depth == 0:
+                parts.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+        if current:
+            parts.append("".join(current))
+        return parts
+
+    # -- resolution -----------------------------------------------------
+    @staticmethod
+    def paired(rel):
+        if rel.endswith(".cpp"):
+            return rel[:-4] + ".h"
+        if rel.endswith(".h"):
+            return rel[:-2] + ".cpp"
+        return None
+
+    def resolve_type(self, var, fn):
+        if var == "this":
+            return fn.cls or None
+        hit = fn.local_types.get(var)
+        if hit:
+            return hit
+        hit = self.file_types.get(fn.path, {}).get(var)
+        if hit:
+            return hit
+        pair = self.paired(fn.path)
+        if pair and pair in self.file_types:
+            hit = self.file_types[pair].get(var)
+            if hit:
+                return hit
+        types = self.global_types.get(var, set())
+        return next(iter(types)) if len(types) == 1 else None
+
+    def resolve_mutex(self, expr, fn):
+        e = wt.norm(expr).lstrip("&* ")
+        parts = [p for p in e.split(".") if p]
+        if parts and parts[0] == "this":
+            parts = parts[1:]
+        if not parts:
+            return "~?"
+        name = parts[-1]
+        if len(parts) == 1:
+            if fn.cls and name in self.mutex_members.get(fn.cls, {}):
+                return self.mutex_members[fn.cls][name]
+            for rel in (fn.path, self.paired(fn.path)):
+                if rel and name in self.file_mutexes.get(rel, {}):
+                    return self.file_mutexes[rel][name]
+            return f"~{name}"
+        owner_type = self.resolve_type(parts[-2], fn)
+        if owner_type and name in self.mutex_members.get(owner_type, {}):
+            return self.mutex_members[owner_type][name]
+        return f"~{name}"
+
+    def rank_value(self, mid):
+        decl = self.mutexes.get(mid)
+        if decl is None:
+            return None
+        return self.ranks.get(decl[0])
+
+    def id_may_block(self, mid):
+        decl = self.mutexes.get(mid)
+        return decl is not None and decl[0] in self.may_block_ranks
+
+    # -- analysis -------------------------------------------------------
+    def analyze(self):
+        for _ in range(4):
+            next_summaries = {}
+            for fn in self.functions:
+                walk = FnWalk(self, fn, record=False)
+                walk.run()
+                s = FnSummary()
+                s.acquires = walk.acquired
+                s.bump_blocking(walk.blocking)
+                if s.acquires or s.blocking:
+                    prev = next_summaries.get(fn.qual)
+                    if prev:  # overloads: union conservatively
+                        prev.acquires.update(s.acquires)
+                        prev.bump_blocking(s.blocking)
+                    else:
+                        next_summaries[fn.qual] = s
+            self.summaries = next_summaries
+
+        seen = set()
+        for fn in self.functions:
+            walk = FnWalk(self, fn, record=True)
+            walk.run()
+            for f in walk.findings:
+                if f.key() not in seen:
+                    seen.add(f.key())
+                    self.findings.append(f)
+
+        self.check_graph()
+        self.check_decls()
+        return self.findings
+
+    def check_graph(self):
+        adjacency = {}
+        for (src, dst), site in self.edges.items():
+            adjacency.setdefault(src, set()).add(dst)
+            rs, rd = self.rank_value(src), self.rank_value(dst)
+            if rs and rd and rs >= rd:
+                rel, line, fn = site
+                self.findings.append(wt.Finding(
+                    rel, line, fn, "lock-order", dst, src,
+                    f"acquires '{dst}' (rank {rd}) while holding "
+                    f"'{src}' (rank {rs}); ranks must strictly ascend "
+                    f"(src/util/lock_ranks.h)"))
+        for cycle in self.find_cycles(adjacency):
+            members = set(cycle)
+            site = next((s for (src, dst), s in sorted(self.edges.items())
+                         if src in members and dst in members), None)
+            rel, line, fn = site if site else ("?", 0, "?")
+            path = " -> ".join(cycle + [cycle[0]])
+            self.findings.append(wt.Finding(
+                rel, line, fn, "lock-cycle", cycle[0], path,
+                f"lock acquisition cycle: {path}"))
+
+    @staticmethod
+    def find_cycles(adjacency):
+        """Tarjan SCCs; every SCC of size > 1 (or a self-loop) is a
+        potential deadlock. Returns one representative node list per
+        cycle, deterministically ordered."""
+        index, low, on_stack = {}, {}, set()
+        stack, sccs, counter = [], [], [0]
+
+        def strongconnect(v):
+            work = [(v, iter(sorted(adjacency.get(v, ()))))]
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = low[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(sorted(adjacency.get(w, ())))))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        low[node] = min(low[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.append(w)
+                        if w == node:
+                            break
+                    sccs.append(sorted(scc))
+
+        for v in sorted(adjacency):
+            if v not in index:
+                strongconnect(v)
+        cycles = []
+        for scc in sccs:
+            if len(scc) > 1:
+                cycles.append(scc)
+            elif scc[0] in adjacency.get(scc[0], ()):
+                cycles.append(scc)
+        return cycles
+
+    def check_decls(self):
+        used_ranks = set()
+        for mid, (rank, rel, line) in sorted(self.mutexes.items()):
+            used_ranks.add(rank)
+            if self.ranks.get(rank, 0) == 0:
+                self.findings.append(wt.Finding(
+                    rel, line, "-", "unranked-mutex", mid, "decl",
+                    f"util::Mutex '{mid}' has no LockRank; every mutex "
+                    f"must declare its place in the hierarchy "
+                    f"(src/util/lock_ranks.h)"))
+        if self.check_dead_ranks:
+            for rank, value in sorted(self.ranks.items()):
+                if value > 0 and rank not in used_ranks:
+                    self.findings.append(wt.Finding(
+                        RANKS_HEADER, 1, "-", "dead-rank", rank, "decl",
+                        f"LockRank::{rank} is declared but no mutex "
+                        f"uses it; the declared hierarchy must match "
+                        f"the observed one"))
+
+
+class FnWalk:
+    """Walks one function body with a held-locks stack."""
+
+    def __init__(self, prog, fn, record):
+        self.prog = prog
+        self.fn = fn
+        self.record = record
+        self.findings = []
+        self.acquired = {}     # summary: mutex id -> line
+        self.blocking = None   # summary: None | 'io' | 'sched'
+
+    def run(self):
+        held = [{"id": mid, "seed": True} for mid in self.fn.required]
+        self.walk_block(self.fn.body, self.fn.line, held, {},
+                        deferred=False)
+
+    # -- event plumbing --------------------------------------------------
+    def finding(self, line, sink, var, source, message):
+        self.findings.append(wt.Finding(
+            self.fn.path, line, self.fn.qual, sink, var, source, message))
+
+    def bump_blocking(self, level, deferred):
+        if deferred:
+            return
+        order = {None: 0, "io": 1, "sched": 2}
+        if order[level] > order[self.blocking]:
+            self.blocking = level
+
+    def add_edge(self, src, dst, line):
+        self.prog.edges.setdefault(
+            (src, dst), (self.fn.path, line, self.fn.qual))
+
+    def acquire(self, mid, line, held, deferred):
+        for h in held:
+            self.add_edge(h["id"], mid, line)
+        entry = {"id": mid, "seed": False}
+        held.append(entry)
+        if not deferred and mid not in self.fn.required:
+            self.acquired.setdefault(mid, line)
+        return entry
+
+    def release(self, mid, held):
+        for h in reversed(held):
+            if h["id"] == mid:
+                held.remove(h)
+                return
+
+    def sched_block(self, what, line, held, deferred):
+        self.bump_blocking("sched", deferred)
+        if held:
+            self.finding(
+                line, "blocking-call", held[-1]["id"], what,
+                f"scheduler-class blocking call {what} while holding "
+                f"{', '.join(h['id'] for h in held)}; these calls may "
+                f"park the thread and must run lock-free")
+
+    def io_block(self, what, line, held, deferred):
+        self.bump_blocking("io", deferred)
+        bad = [h["id"] for h in held
+               if not self.prog.id_may_block(h["id"])]
+        if bad:
+            self.finding(
+                line, "io-under-lock", bad[0], what,
+                f"file I/O via {what} while holding {', '.join(bad)}, "
+                f"whose rank is not may-block (LockRankMayBlock in "
+                f"src/util/lock_ranks.h)")
+
+    def apply_summary(self, summary, callee, line, held, deferred):
+        if summary.blocking == "sched":
+            self.sched_block(callee, line, held, deferred)
+        elif summary.blocking == "io":
+            self.io_block(callee, line, held, deferred)
+        for mid in summary.acquires:
+            for h in held:
+                self.add_edge(h["id"], mid, line)
+            if not deferred and mid not in self.fn.required:
+                self.acquired.setdefault(mid, line)
+
+    # -- structure -------------------------------------------------------
+    def walk_block(self, text, line0, held, guards, deferred):
+        """Returns True when the block ends in return/break/continue
+        (the caller reverts held-state changes for such blocks)."""
+        my_guards = []
+        i, stmt_start, n = 0, 0, len(text)
+        while i < n:
+            c = text[i]
+            if c == "(":
+                i = wt.match_paren(text, i)
+            elif c == ";":
+                self.process_statement(
+                    text[stmt_start:i],
+                    line0 + text.count("\n", 0, stmt_start),
+                    held, guards, my_guards, deferred)
+                stmt_start = i + 1
+                i += 1
+            elif c == "{":
+                header = text[stmt_start:i]
+                hline = line0 + text.count("\n", 0, stmt_start)
+                self.process_statement(header, hline, held, guards,
+                                       my_guards, deferred)
+                end = wt.match_brace(text, i)
+                inner = text[i + 1:end - 1]
+                iline = line0 + text.count("\n", 0, i)
+                if LAMBDA_HEADER_RE.search(header.rstrip()):
+                    # Deferred execution: runs later, on some thread
+                    # that holds nothing.
+                    self.walk_block(inner, iline, [], {}, deferred=True)
+                else:
+                    saved = list(held)
+                    child_guards = dict(guards)
+                    terminated = self.walk_block(inner, iline, held,
+                                                 child_guards, deferred)
+                    if terminated:
+                        held[:] = saved
+                stmt_start = end
+                i = end
+            else:
+                i += 1
+        self.process_statement(
+            text[stmt_start:],
+            line0 + text.count("\n", 0, stmt_start),
+            held, guards, my_guards, deferred)
+        for entry in my_guards:
+            if entry in held:
+                held.remove(entry)
+        return bool(TERMINATOR_RE.search(text.strip()))
+
+    def excise_lambdas(self, stmt, line):
+        """Walks lambda bodies embedded in a statement (Submit(
+        [..]{...})) as deferred code and blanks them so the enclosing
+        statement's scan does not see their internals."""
+        while True:
+            m = LAMBDA_INTRO_RE.search(stmt)
+            if m is None:
+                return stmt
+            brace = m.end() - 1
+            end = wt.match_brace(stmt, brace)
+            inner = stmt[brace + 1:end - 1]
+            self.walk_block(inner, line + stmt.count("\n", 0, brace),
+                            [], {}, deferred=True)
+            stmt = stmt[:m.start()] + " " * (end - m.start()) + stmt[end:]
+
+    # -- one statement ---------------------------------------------------
+    def process_statement(self, stmt, line, held, guards, my_guards,
+                          deferred):
+        if not stmt.strip():
+            return
+        stmt = self.excise_lambdas(stmt, line)
+        prog, fn = self.prog, self.fn
+        events = []
+
+        for m in GUARD_RE.finditer(stmt):
+            opener = m.end() - 1
+            if m.group(3) == "(":
+                args = wt.split_args(stmt, opener)
+            else:
+                close = wt.match_brace(stmt, opener)
+                args = [stmt[opener + 1:close - 1].strip()]
+            if args and args[0]:
+                events.append((m.start(), "guard", (m.group(2), args[0])))
+        for m in LOCK_CALL_RE.finditer(stmt):
+            events.append((m.start(), m.group(2), m.group(1)))
+        for m in CV_WAIT_RE.finditer(stmt):
+            recv = wt.norm(m.group(1)).split(".")[-1]
+            if recv in prog.cv_names:
+                events.append((m.start(), "cv", (m.group(1), m.group(2))))
+        for m in SLEEP_RE.finditer(stmt):
+            events.append((m.start(), "sched", m.group(1)))
+        for m in IO_FREE_RE.finditer(stmt):
+            events.append((m.start(), "io", m.group(1)))
+        for m in SYSCALL_RE.finditer(stmt):
+            events.append((m.start(), "io", f"::{m.group(1)}"))
+        for m in METHOD_CALL_RE.finditer(stmt):
+            method = m.group(2)
+            if method in NOT_METHODS:
+                continue
+            owner = wt.norm(m.group(1)).split(".")[-1]
+            recv_type = prog.resolve_type(re.sub(r"\[.*?\]", "", owner),
+                                          fn)
+            if recv_type:
+                events.append((m.start(), "call", (recv_type, method)))
+        for m in QUALIFIED_CALL_RE.finditer(stmt):
+            events.append((m.start(), "call", (m.group(1), m.group(2))))
+        for m in BARE_CALL_RE.finditer(stmt):
+            name = m.group(1)
+            if name in wt.CONTROL_KEYWORDS:
+                continue
+            events.append((m.start(), "bare", name))
+        for pat in (MAKE_UNIQUE_RE, NEW_RE):
+            for m in pat.finditer(stmt):
+                t = strip_type(m.group(1))
+                events.append((m.start(), "call", (t, t)))
+
+        for _pos, kind, payload in sorted(events, key=lambda e: e[0]):
+            if kind == "guard":
+                var, mexpr = payload
+                mid = prog.resolve_mutex(mexpr, fn)
+                entry = self.acquire(mid, line, held, deferred)
+                guards[var] = mid
+                my_guards.append(entry)
+            elif kind == "lock":
+                recv = payload
+                mid = guards.get(recv) or prog.resolve_mutex(recv, fn)
+                self.acquire(mid, line, held, deferred)
+            elif kind == "unlock":
+                recv = payload
+                mid = guards.get(recv) or prog.resolve_mutex(recv, fn)
+                self.release(mid, held)
+            elif kind == "cv":
+                recv, arg = payload
+                self.bump_blocking("sched", deferred)
+                mid = prog.resolve_mutex(arg, fn) if arg else "~?"
+                held_ids = [h["id"] for h in held]
+                if held_ids != [mid]:
+                    self.finding(
+                        line, "cv-wait", mid, wt.norm(recv),
+                        f"ConditionVariable::wait on '{mid}' outside "
+                        f"the idiom: the paired mutex must be the only "
+                        f"held lock (held: "
+                        f"{', '.join(held_ids) or 'nothing'})")
+            elif kind == "sched":
+                self.sched_block(payload, line, held, deferred)
+            elif kind == "io":
+                self.io_block(payload, line, held, deferred)
+            elif kind == "call":
+                cls, name = payload
+                if (cls, name) in SCHED_METHODS:
+                    self.sched_block(f"{cls}::{name}", line, held,
+                                     deferred)
+                elif (cls, name) in IO_METHODS:
+                    self.io_block(f"{cls}::{name}", line, held, deferred)
+                summary = prog.summaries.get(f"{cls}::{name}")
+                if summary:
+                    self.apply_summary(summary, f"{cls}::{name}", line,
+                                       held, deferred)
+            elif kind == "bare":
+                name = payload
+                if fn.cls and (fn.cls, name) in SCHED_METHODS:
+                    self.sched_block(f"{fn.cls}::{name}", line, held,
+                                     deferred)
+                elif fn.cls and (fn.cls, name) in IO_METHODS:
+                    self.io_block(f"{fn.cls}::{name}", line, held,
+                                  deferred)
+                anns = prog.annotations.get((fn.cls, name)) or \
+                    prog.annotations.get(("", name)) or {}
+                for raw in anns.get("ACQUIRE", []):
+                    self.acquire(prog.resolve_mutex(raw, fn), line,
+                                 held, deferred)
+                for raw in anns.get("RELEASE", []):
+                    self.release(prog.resolve_mutex(raw, fn), held)
+                summary = None
+                if fn.cls:
+                    summary = prog.summaries.get(f"{fn.cls}::{name}")
+                if summary is None:
+                    summary = prog.summaries.get(name)
+                if summary:
+                    self.apply_summary(summary, name, line, held,
+                                       deferred)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def in_scope(rel):
+    if str(rel) in MODEL_FILES:
+        return False
+    parts = rel.parts
+    return len(parts) >= 2 and parts[0] == "src" and parts[1] in SCAN_DIRS
+
+
+def collect_files(args, root):
+    saved = wt.in_scope
+    wt.in_scope = in_scope
+    try:
+        return wt.collect_files(args, root)
+    finally:
+        wt.in_scope = saved
+
+
+def analyze_tree(files, root, tcb):
+    ranks, may_block = load_ranks(root)
+    prog = Program(ranks, may_block, check_dead_ranks=True)
+    for rel in files:
+        if str(rel) in tcb:
+            continue
+        prog.add_file(str(rel), (root / rel).read_text())
+    prog.build()
+    findings = prog.analyze()
+    return findings, prog
+
+
+# ---------------------------------------------------------------------------
+# Fixture self-test
+# ---------------------------------------------------------------------------
+
+def run_selftest(fixtures_dir, root):
+    ranks, may_block = load_ranks(root)
+    failures = []
+    checked = 0
+    for kind in ("good", "bad"):
+        for path in sorted((fixtures_dir / kind).glob("*.cpp")):
+            text = path.read_text()
+            expect = re.search(r"//\s*lock-expect:\s*(.+)", text)
+            if not expect:
+                failures.append(f"{path}: missing `// lock-expect:` header")
+                continue
+            spec = expect.group(1).strip()
+            rel = str(path.relative_to(root))
+            prog = Program(ranks, may_block)
+            prog.add_file(rel, text)
+            prog.build()
+            findings = prog.analyze()
+            checked += 1
+            if spec == "clean":
+                if kind != "good":
+                    failures.append(f"{rel}: `clean` belongs in good/")
+                for finding in findings:
+                    failures.append(f"{rel}: expected clean, got: {finding}")
+                continue
+            if kind != "bad":
+                failures.append(f"{rel}: expectation {spec} belongs in bad/")
+            for clause in spec.split(";"):
+                want = dict(kv.split("=") for kv in clause.strip().split())
+                hit = any(
+                    (("source" not in want or
+                      want["source"] in finding.source) and
+                     ("sink" not in want or want["sink"] == finding.sink))
+                    for finding in findings)
+                if not hit:
+                    got = ", ".join(f"{f.source}->{f.sink}"
+                                    for f in findings) or "no findings"
+                    failures.append(
+                        f"{rel}: expected {clause.strip()}, got: {got}")
+    for failure in failures:
+        print(failure)
+    if failures:
+        print(f"selftest: {len(failures)} failure(s) over {checked} "
+              f"fixtures", file=sys.stderr)
+        return 1
+    print(f"lock_graph selftest: {checked} fixtures behaved")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compile-commands", default=None)
+    parser.add_argument("--src-root", default=None)
+    parser.add_argument("--allow", default=None)
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "clang", "tokens"))
+    parser.add_argument("--json", default=None,
+                        help="write findings + edges as JSON to FILE")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture suite instead of src/")
+    args = parser.parse_args()
+
+    tool_dir = pathlib.Path(__file__).resolve().parent
+    root = tool_dir.parent.parent
+
+    if args.selftest:
+        return run_selftest(tool_dir / "fixtures" / "lock", root)
+
+    allow_path = args.allow or tool_dir / "lock_graph_allow.txt"
+    tcb, allows = wt.load_allow(allow_path)
+
+    files = collect_files(args, root)
+    if not files:
+        sys.exit("no files to analyze (check --compile-commands/--src-root)")
+
+    findings, prog = analyze_tree(files, root, tcb)
+    visible = [f for f in findings if not wt.allowed(f, allows)]
+    suppressed = len(findings) - len(visible)
+
+    if args.json:
+        pathlib.Path(args.json).write_text(json.dumps({
+            "findings": [vars(f) for f in findings],
+            "edges": [{"held": src, "acquired": dst, "file": site[0],
+                       "line": site[1], "function": site[2]}
+                      for (src, dst), site in sorted(prog.edges.items())],
+        }, indent=2) + "\n")
+
+    for finding in sorted(visible, key=lambda f: (f.path, f.line)):
+        print(finding)
+    if visible:
+        print(f"{len(visible)} finding(s) ({suppressed} suppressed by "
+              f"{allow_path})", file=sys.stderr)
+        return 1
+    print(f"lock_graph: {len(files)} files, {len(prog.edges)} lock-order "
+          f"edges, clean ({suppressed} suppressed, {len(tcb)} TCB files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Thin wrapper so CI jobs and developers share one entry point for
+# the full analyzer wall (wire_taint, det_taint, lock_graph,
+# vegvisir_lint). All arguments pass through to run_all.py — see
+# `run_all.py --help` for the knobs.
+set -euo pipefail
+exec python3 "$(dirname "$0")/run_all.py" "$@"

@@ -62,6 +62,13 @@ Seven repo-specific invariants that clang-tidy cannot express:
      restructure the code so the analysis passes (mirrors rule 5's
      no-inline-suppression policy).
 
+  8. mutex-rank: every util::Mutex member in src/ must declare its
+     LockRank via brace-init (`util::Mutex mu_{util::LockRank::...};`)
+     so it participates in the lock hierarchy that lock_graph.py and
+     the VEGVISIR_LOCK_DEBUG runtime enforcer check
+     (src/util/lock_ranks.h, DESIGN.md §15). An unranked mutex is
+     invisible to the ordering wall.
+
 Allowlist: suppressions live HERE, in the tables below, one entry per
 line with a justification — never inline in the source (the lint CI
 job greps for NOLINT to enforce that). `// lint: metric-name` and
@@ -187,7 +194,7 @@ RAW_MUTEX = re.compile(
     r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"recursive_timed_mutex|shared_timed_mutex)\b")
 
-MUTEX_MEMBER = re.compile(r"\butil::Mutex\s+(\w+)\s*;")
+MUTEX_MEMBER = re.compile(r"\butil::Mutex\s+(\w+)\s*(\{[^;]*\})?\s*;")
 
 TSA_ESCAPE = re.compile(
     r"\bVEGVISIR_NO_THREAD_SAFETY_ANALYSIS\b|"
@@ -477,6 +484,15 @@ def check_mutex_annotation(rel, text, stripped, findings):
         )
     for m in MUTEX_MEMBER.finditer(stripped):
         name = m.group(1)
+        init = m.group(2) or ""
+        if "LockRank::" not in init:
+            findings.append(
+                (rel, line_of(stripped, m.start()), "mutex-rank",
+                 f"util::Mutex member '{name}' declares no LockRank; "
+                 "every mutex in src/ takes its place in the hierarchy "
+                 "via brace-init, e.g. util::Mutex mu_{util::LockRank::"
+                 "kExecPool}; (src/util/lock_ranks.h)")
+            )
         user = re.search(
             r"VEGVISIR_(?:PT_)?GUARDED_BY\s*\(\s*" + re.escape(name) +
             r"\s*\)|VEGVISIR_(?:REQUIRES|ACQUIRE|RELEASE|TRY_ACQUIRE|"
