@@ -12,8 +12,17 @@
 //                demand)
 // in two divergence shapes: a linear chain (deep) and a bush of
 // concurrent branches (wide, as after a many-way partition).
+//
+// The second sweep (BENCH_recondiff.json) is reconciliation v2's
+// headline experiment: delta sizes x DAG depths for the paper
+// algorithm, full exchange and setdiff. It shows setdiff's bytes
+// scaling with the delta and staying flat in depth, and locates the
+// crossover where the negotiation overhead (probe + sketch + result)
+// pays for itself against Algorithm 1.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baseline/full_exchange.h"
 #include "bench_common.h"
@@ -96,6 +105,84 @@ Row RunFrontier(recon::ReconConfig::Mode mode, int shared, int d, bool bush) {
              stats.blocks_received};
 }
 
+const char* StrategyName(recon::ReconConfig::Mode mode) {
+  switch (mode) {
+    case recon::ReconConfig::Mode::kBlockPush:
+      return "paper";
+    case recon::ReconConfig::Mode::kHashFirst:
+      return "hashfirst";
+    case recon::ReconConfig::Mode::kBloom:
+      return "bloom";
+    case recon::ReconConfig::Mode::kSetDiff:
+      return "setdiff";
+  }
+  return "unknown";
+}
+
+Row RunFull(int shared, int d, bool bush);
+
+// The delta x depth x strategy sweep behind BENCH_recondiff.json.
+// Chain-shaped runs: the responder is `delta` blocks ahead of a
+// `depth`-block shared history.
+void RunDiffSweep() {
+  std::printf(
+      "\nreconciliation v2: initiator bytes received, by strategy\n"
+      "(shared depth x delta; chain shape)\n");
+  std::printf("%-6s %-6s | %12s | %12s %7s | %12s %7s\n", "depth", "delta",
+              "full B", "paper B", "rounds", "setdiff B", "rounds");
+  std::vector<telemetry::BenchValue> rows;
+  const recon::ReconConfig::Mode kStrategies[] = {
+      recon::ReconConfig::Mode::kBlockPush,
+      recon::ReconConfig::Mode::kSetDiff,
+  };
+  for (const int depth : {64, 256, 1024}) {
+    for (const int delta : {1, 4, 16, 64, 256}) {
+      Row per[2];
+      for (int s = 0; s < 2; ++s) {
+        Pair p = MakePair(depth, delta, /*bush=*/false);
+        recon::ReconConfig cfg;
+        cfg.mode = kStrategies[s];
+        recon::SessionStats stats;
+        recon::RunLocalSession(p.initiator.get(), p.responder.get(), cfg,
+                               &stats);
+        per[s] = Row{stats.bytes_received, stats.rounds,
+                     stats.blocks_received};
+        const std::string key = std::string("recondiff.strategy=") +
+                                StrategyName(kStrategies[s]) +
+                                ".depth=" + std::to_string(depth) +
+                                ".delta=" + std::to_string(delta);
+        rows.push_back({key + ".bytes_received",
+                        static_cast<double>(stats.bytes_received)});
+        rows.push_back(
+            {key + ".bytes_sent", static_cast<double>(stats.bytes_sent)});
+        rows.push_back({key + ".rounds", static_cast<double>(stats.rounds)});
+      }
+      const Row full = RunFull(depth, delta, /*bush=*/false);
+      const std::string key = std::string("recondiff.strategy=full.depth=") +
+                              std::to_string(depth) +
+                              ".delta=" + std::to_string(delta);
+      rows.push_back(
+          {key + ".bytes_received", static_cast<double>(full.bytes)});
+      rows.push_back({key + ".rounds", static_cast<double>(full.rounds)});
+      std::printf("%-6d %-6d | %12llu | %12llu %7llu | %12llu %7llu\n", depth,
+                  delta, static_cast<unsigned long long>(full.bytes),
+                  static_cast<unsigned long long>(per[0].bytes),
+                  static_cast<unsigned long long>(per[0].rounds),
+                  static_cast<unsigned long long>(per[1].bytes),
+                  static_cast<unsigned long long>(per[1].rounds));
+    }
+  }
+  std::printf(
+      "\nExpected shape: setdiff bytes track delta and stay flat as\n"
+      "depth grows; the paper algorithm re-ships level sets, so its\n"
+      "cost grows superlinearly in delta. The crossover (where the\n"
+      "probe+sketch overhead pays off) sits at small single-digit\n"
+      "deltas and moves in setdiff's favour as the DAG deepens.\n");
+  (void)telemetry::WriteBenchJson("recondiff",
+                                  benchio::Sink().metrics.TakeSnapshot(),
+                                  std::move(rows));
+}
+
 Row RunFull(int shared, int d, bool bush) {
   Pair p = MakePair(shared, d, bush);
   const auto stats =
@@ -140,6 +227,7 @@ int main() {
       "block-push on deep chains (level escalation re-ships bodies);\n"
       "bloom closes any gap shape in one round for a filter-sized\n"
       "overhead (~10 bits per known block).\n");
+  RunDiffSweep();
   benchio::WriteBench("reconciliation");
   return 0;
 }

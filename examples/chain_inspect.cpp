@@ -92,6 +92,9 @@ int RunMetricsDemo() {
   node::ClusterConfig cfg;
   cfg.node_count = 4;
   cfg.seed = 404;
+  // Reconciliation v2 (DESIGN.md §16), so the scrape shows the
+  // setdiff.* negotiation series and recon.*.level_cap_hit live.
+  cfg.node_template.recon.mode = recon::ReconConfig::Mode::kSetDiff;
   node::Cluster cluster(cfg, &topo);
   cluster.RunFor(20'000);
   (void)cluster.node(0).CreateCrdt("events", crdt::CrdtType::kGSet,

@@ -53,6 +53,21 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       (void)recon::DecodeMessage(env.payload, &m);
       break;
     }
+    case recon::MessageType::kDiffProbe: {
+      recon::DiffProbe m;
+      (void)recon::DecodeMessage(env.payload, &m);
+      break;
+    }
+    case recon::MessageType::kDiffSketch: {
+      recon::DiffSketch m;
+      (void)recon::DecodeMessage(env.payload, &m);
+      break;
+    }
+    case recon::MessageType::kDiffResult: {
+      recon::DiffResult m;
+      (void)recon::DecodeMessage(env.payload, &m);
+      break;
+    }
   }
   return 0;
 }

@@ -138,6 +138,55 @@ void EmitReconSeeds(const chain::Block& genesis, const chain::Block& child) {
   WriteSeed("recon_messages", "crash-hash-count-bomb.bin", w.Take());
 }
 
+void EmitSetdiffSeeds(const chain::Block& genesis, const chain::Block& child) {
+  recon::DiffProbe probe;
+  probe.genesis = genesis.hash();
+  probe.frontier_digest = child.hash();
+  probe.digest.Insert(genesis.hash());
+  probe.digest.Insert(child.hash());
+  WriteSeed("setdiff_messages", "seed-diff-probe.bin",
+            recon::EncodeMessage(probe));
+
+  recon::DiffProbe escalated = probe;
+  escalated.requested_cells = 64;
+  WriteSeed("setdiff_messages", "seed-diff-probe-escalated.bin",
+            recon::EncodeMessage(escalated));
+
+  recon::DiffSketch sketch;
+  sketch.genesis = genesis.hash();
+  sketch.seed = setdiff::SeedForCells(16);
+  sketch.set_size = 2;
+  sketch.estimated_delta = 1;
+  sketch.frontier = {child.hash()};
+  sketch.sketch = setdiff::Iblt(16, sketch.seed);
+  sketch.sketch.Insert(genesis.hash());
+  sketch.sketch.Insert(child.hash());
+  WriteSeed("setdiff_messages", "seed-diff-sketch.bin",
+            recon::EncodeMessage(sketch));
+
+  recon::DiffResult ok;
+  ok.decoded = true;
+  ok.peer_missing = {child.hash()};
+  WriteSeed("setdiff_messages", "seed-diff-result-decoded.bin",
+            recon::EncodeMessage(ok));
+
+  recon::DiffResult fell_back;
+  WriteSeed("setdiff_messages", "seed-diff-result-fallback.bin",
+            recon::EncodeMessage(fell_back));
+
+  // IBLT cell-count bomb inside a DiffSketch: tag, genesis, seed,
+  // set_size, delta, empty frontier, then the wrap-the-check count.
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(recon::MessageType::kDiffSketch));
+  w.WriteFixed(genesis.hash());
+  w.WriteU64(sketch.seed);
+  w.WriteVarint(2);
+  w.WriteVarint(1);
+  w.WriteVarint(0);
+  AppendCountBomb(&w);
+  WriteSeed("setdiff_messages", "crash-cell-count-bomb.bin", w.Take());
+}
+
 void EmitEnvelopeSeeds(const chain::Block& genesis) {
   recon::FrontierRequest freq;
   freq.genesis = genesis.hash();
@@ -193,6 +242,7 @@ int main(int argc, char** argv) {
   EmitCertificateSeeds(owner, member);
   EmitValueSeeds();
   EmitReconSeeds(genesis, child);
+  EmitSetdiffSeeds(genesis, child);
   EmitEnvelopeSeeds(genesis);
 
   std::printf("corpus written under %s\n", g_root.string().c_str());

@@ -23,6 +23,10 @@ bool Cluster::IsAdversary(int i) const {
 
 NodeConfig Cluster::ConfigFor(int i) const {
   NodeConfig cfg = config_.node_template;
+  if (const auto it = config_.recon_overrides.find(i);
+      it != config_.recon_overrides.end()) {
+    cfg.recon = it->second;
+  }
   cfg.user_id = (i == 0) ? "owner" : "user-" + std::to_string(i);
   cfg.drop_foreign_blocks = IsAdversary(i);
   cfg.telemetry = telemetry_[static_cast<std::size_t>(i)].get();

@@ -6,6 +6,7 @@
 // benchmarks and the examples all build scenarios on this.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,13 @@ struct ClusterConfig {
   std::uint64_t seed = 42;
   std::string member_role = "member";
   NodeConfig node_template;       // recon mode, validation params, ...
+  // Per-node reconciliation overrides (node index -> ReconConfig),
+  // replacing the template's recon config wholesale for those nodes.
+  // This is how mixed-version fleets are built: e.g. nodes 0-2 on
+  // setdiff protocol v2, nodes 3-5 pinned to protocol_version = 1.
+  // Overrides survive crash/restart (ConfigFor applies them on every
+  // incarnation).
+  std::map<int, recon::ReconConfig> recon_overrides;
   GossipConfig gossip;
   sim::LinkParams link;
   sim::EnergyParams energy;

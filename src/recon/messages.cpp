@@ -10,12 +10,12 @@ void WriteHashes(serial::Writer* w, const std::vector<chain::BlockHash>& hs) {
   for (const chain::BlockHash& h : hs) w->WriteFixed(h);
 }
 
-Status ReadHashes(serial::Reader* r, std::vector<chain::BlockHash>* out) {
+Status ReadHashList(serial::Reader* r, std::vector<chain::BlockHash>* out,
+                    std::uint64_t limit, const char* what) {
   std::uint64_t count;
   VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
   VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
-      count, serial::limits::kMaxFrontierHashes, r->remaining(),
-      sizeof(chain::BlockHash), "hash"));
+      count, limit, r->remaining(), sizeof(chain::BlockHash), what));
   out->clear();
   out->reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -24,6 +24,10 @@ Status ReadHashes(serial::Reader* r, std::vector<chain::BlockHash>* out) {
     out->push_back(h);
   }
   return Status::Ok();
+}
+
+Status ReadHashes(serial::Reader* r, std::vector<chain::BlockHash>* out) {
+  return ReadHashList(r, out, serial::limits::kMaxFrontierHashes, "hash");
 }
 
 void WriteBlockList(serial::Writer* w, const std::vector<Bytes>& blocks) {
@@ -99,11 +103,42 @@ Bytes EncodeMessage(const PushBlocks& m) {
   return w.Take();
 }
 
+Bytes EncodeMessage(const DiffProbe& m) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kDiffProbe));
+  w.WriteU32(m.version);
+  w.WriteFixed(m.genesis);
+  w.WriteFixed(m.frontier_digest);
+  w.WriteU32(m.requested_cells);
+  m.digest.Encode(&w);
+  return w.Take();
+}
+
+Bytes EncodeMessage(const DiffSketch& m) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kDiffSketch));
+  w.WriteFixed(m.genesis);
+  w.WriteU64(m.seed);
+  w.WriteVarint(m.set_size);
+  w.WriteVarint(m.estimated_delta);
+  WriteHashes(&w, m.frontier);
+  m.sketch.Encode(&w);
+  return w.Take();
+}
+
+Bytes EncodeMessage(const DiffResult& m) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kDiffResult));
+  w.WriteBool(m.decoded);
+  WriteHashes(&w, m.peer_missing);
+  return w.Take();
+}
+
 StatusOr<MessageType> PeekType(ByteSpan data) {
   if (data.empty()) return InvalidArgumentError("empty message");
   const std::uint8_t tag = data[0];
   if (tag < static_cast<std::uint8_t>(MessageType::kFrontierRequest) ||
-      tag > static_cast<std::uint8_t>(MessageType::kPushBlocks)) {
+      tag > static_cast<std::uint8_t>(MessageType::kDiffResult)) {
     return InvalidArgumentError("unknown message type");
   }
   return static_cast<MessageType>(tag);
@@ -148,6 +183,45 @@ Status DecodeMessage(ByteSpan data, PushBlocks* out) {
   serial::Reader r(data);
   VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kPushBlocks));
   VEGVISIR_RETURN_IF_ERROR(ReadBlockList(&r, &out->blocks));
+  return r.ExpectEnd();
+}
+
+Status DecodeMessage(ByteSpan data, DiffProbe* out) {
+  serial::Reader r(data);
+  VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kDiffProbe));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU32(&out->version));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&out->genesis));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&out->frontier_digest));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU32(&out->requested_cells));
+  if (out->requested_cells > serial::limits::kMaxIbltCells) {
+    return InvalidArgumentError("cell count exceeds limit");
+  }
+  auto digest = setdiff::RangeDigest::Decode(&r);
+  if (!digest.ok()) return digest.status();
+  out->digest = std::move(digest).value();
+  return r.ExpectEnd();
+}
+
+Status DecodeMessage(ByteSpan data, DiffSketch* out) {
+  serial::Reader r(data);
+  VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kDiffSketch));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadFixed(&out->genesis));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadU64(&out->seed));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&out->set_size));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadVarint(&out->estimated_delta));
+  VEGVISIR_RETURN_IF_ERROR(ReadHashes(&r, &out->frontier));
+  auto sketch = setdiff::Iblt::Decode(&r, out->seed);
+  if (!sketch.ok()) return sketch.status();
+  out->sketch = std::move(sketch).value();
+  return r.ExpectEnd();
+}
+
+Status DecodeMessage(ByteSpan data, DiffResult* out) {
+  serial::Reader r(data);
+  VEGVISIR_RETURN_IF_ERROR(ExpectType(&r, MessageType::kDiffResult));
+  VEGVISIR_RETURN_IF_ERROR(r.ReadBool(&out->decoded));
+  VEGVISIR_RETURN_IF_ERROR(ReadHashList(
+      &r, &out->peer_missing, serial::limits::kMaxDiffHashes, "diff hash"));
   return r.ExpectEnd();
 }
 

@@ -12,6 +12,15 @@
 //
 // PushBlocks is the optional anti-entropy extension: after catching
 // up, the initiator pushes the blocks the responder provably lacks.
+//
+// DiffProbe/DiffSketch/DiffResult are reconciliation v2 (DESIGN.md
+// §16): the initiator probes with a range digest of its whole hash
+// set, the responder answers with a delta-sized IBLT sketch, and the
+// initiator reports the peel outcome — success routes straight into
+// BlockRequest/PushBlocks, failure falls back to level escalation.
+// Protocol-version-1 peers reject tag 6+ as "unknown message type",
+// which is exactly how a pre-setdiff build behaves, so the initiator
+// can detect legacy peers and downgrade.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,8 @@
 
 #include "chain/types.h"
 #include "serial/codec.h"
+#include "setdiff/digest.h"
+#include "setdiff/iblt.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -30,6 +41,9 @@ enum class MessageType : std::uint8_t {
   kBlockRequest = 3,
   kBlockResponse = 4,
   kPushBlocks = 5,
+  kDiffProbe = 6,
+  kDiffSketch = 7,
+  kDiffResult = 8,
 };
 
 struct FrontierRequest {
@@ -70,12 +84,59 @@ struct PushBlocks {
   std::vector<Bytes> blocks;
 };
 
+// Opens a setdiff negotiation: the initiator's whole-set range digest
+// plus enough context for the responder to size an IBLT reply.
+struct DiffProbe {
+  // Highest setdiff protocol revision the initiator speaks; a
+  // responder configured below it rejects the probe the way a
+  // pre-setdiff build would ("unknown message type").
+  std::uint32_t version = 1;
+  chain::BlockHash genesis{};
+  // SHA-256 over the initiator's sorted frontier — same identical-
+  // replica early exit as FrontierRequest.
+  chain::BlockHash frontier_digest{};
+  // 0: responder sizes the sketch from the digest delta estimate.
+  // >0: escalation retry after a failed peel; the responder honours
+  // the request (clamped to its configured ceiling).
+  std::uint32_t requested_cells = 0;
+  setdiff::RangeDigest digest;
+};
+
+// The responder's delta-sized IBLT over its whole hash set, plus its
+// frontier so a successful peel can feed push-back directly.
+struct DiffSketch {
+  chain::BlockHash genesis{};
+  // Hash-family seed the responder built with (derived from the cell
+  // count; carried explicitly so decode never guesses).
+  std::uint64_t seed = 0;
+  // Responder's total set size — lets the initiator sanity-check a
+  // peel that claims more one-sided difference than the peer holds.
+  std::uint64_t set_size = 0;
+  // The responder's own delta estimate, for telemetry and tests.
+  std::uint64_t estimated_delta = 0;
+  std::vector<chain::BlockHash> frontier;
+  setdiff::Iblt sketch{1, 0};
+};
+
+// The initiator's verdict on a sketch. On success it also names the
+// blocks the responder is missing (the peel's plus side) so the
+// responder can account for the coming push-back; on failure the
+// responder just learns the attempt is over (the initiator either
+// re-probes with more cells or falls back to level escalation).
+struct DiffResult {
+  bool decoded = false;
+  std::vector<chain::BlockHash> peer_missing;
+};
+
 // Envelope encoding: a type byte followed by the payload.
 Bytes EncodeMessage(const FrontierRequest& m);
 Bytes EncodeMessage(const FrontierResponse& m);
 Bytes EncodeMessage(const BlockRequest& m);
 Bytes EncodeMessage(const BlockResponse& m);
 Bytes EncodeMessage(const PushBlocks& m);
+Bytes EncodeMessage(const DiffProbe& m);
+Bytes EncodeMessage(const DiffSketch& m);
+Bytes EncodeMessage(const DiffResult& m);
 
 // Peeks the envelope type. Fails on empty/unknown input.
 StatusOr<MessageType> PeekType(ByteSpan data);
@@ -85,6 +146,9 @@ Status DecodeMessage(ByteSpan data, FrontierResponse* out);
 Status DecodeMessage(ByteSpan data, BlockRequest* out);
 Status DecodeMessage(ByteSpan data, BlockResponse* out);
 Status DecodeMessage(ByteSpan data, PushBlocks* out);
+Status DecodeMessage(ByteSpan data, DiffProbe* out);
+Status DecodeMessage(ByteSpan data, DiffSketch* out);
+Status DecodeMessage(ByteSpan data, DiffResult* out);
 
 // Stable counter suffix classifying a failed decode. Every
 // early-return verdict a DecodeMessage/PeekType call can produce maps

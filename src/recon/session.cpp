@@ -37,6 +37,14 @@ SessionMetrics SessionMetrics::Resolve(telemetry::Telemetry* sink,
   m.blocks_pushed = reg.GetCounter(prefix + "blocks_pushed");
   m.final_level = reg.GetHistogram(prefix + "final_level",
                                    telemetry::PowerOfTwoBounds(10));
+  m.level_cap_hit = reg.GetCounter(prefix + "level_cap_hit");
+  m.setdiff_probes = reg.GetCounter("setdiff.probes");
+  m.setdiff_sketches_sent = reg.GetCounter("setdiff.sketches_sent");
+  m.setdiff_sketch_bytes = reg.GetCounter("setdiff.sketch_bytes");
+  m.setdiff_decode_success = reg.GetCounter("setdiff.decode_success");
+  m.setdiff_decode_failure = reg.GetCounter("setdiff.decode_failure");
+  m.setdiff_escalations = reg.GetCounter("setdiff.escalations");
+  m.setdiff_fallbacks = reg.GetCounter("setdiff.fallbacks");
   m.reject_empty = reg.GetCounter(prefix + "reject.empty");
   m.reject_unknown_type = reg.GetCounter(prefix + "reject.unknown_type");
   m.reject_unexpected_type =
@@ -85,14 +93,29 @@ Bytes InitiatorSession::Send(Bytes message) {
   return message;
 }
 
+bool InitiatorSession::HashFirstActive() const {
+  switch (config_.mode) {
+    case ReconConfig::Mode::kHashFirst:
+      return true;
+    case ReconConfig::Mode::kBloom:
+      return bloom_round_done_;
+    case ReconConfig::Mode::kSetDiff:
+      // The fallback rounds after an abandoned negotiation, and the
+      // whole session when this node is downgraded to version 1.
+      return diff_phase_ == DiffPhase::kFellBack ||
+             diff_phase_ == DiffPhase::kInactive;
+    case ReconConfig::Mode::kBlockPush:
+      return false;
+  }
+  return false;
+}
+
 Bytes InitiatorSession::MakeFrontierRequest() {
   FrontierRequest req;
   req.level = level_;
-  // Bloom fallback rounds use hash-first requests: escalation is then
-  // paid in hashes, not repeated bodies.
-  req.hashes_only = (config_.mode == ReconConfig::Mode::kHashFirst) ||
-                    (config_.mode == ReconConfig::Mode::kBloom &&
-                     bloom_round_done_);
+  // Bloom/setdiff fallback rounds use hash-first requests: escalation
+  // is then paid in hashes, not repeated bodies.
+  req.hashes_only = HashFirstActive();
   req.genesis = host_->dag().genesis_hash();
   req.frontier_digest = host_->dag().FrontierDigest();
   stats_.rounds += 1;
@@ -117,10 +140,32 @@ Bytes InitiatorSession::MakeBloomRequest() {
   return Send(EncodeMessage(req));
 }
 
+Bytes InitiatorSession::MakeDiffProbe() {
+  DiffProbe probe;
+  probe.version = config_.protocol_version;
+  probe.genesis = host_->dag().genesis_hash();
+  probe.frontier_digest = host_->dag().FrontierDigest();
+  probe.requested_cells = diff_cells_requested_;
+  for (const chain::BlockHash& h : host_->dag().TopologicalOrder()) {
+    probe.digest.Insert(h);
+  }
+  diff_phase_ = DiffPhase::kAwaitSketch;
+  stats_.rounds += 1;
+  metrics_.rounds.Inc();
+  metrics_.setdiff_probes.Inc();
+  return Send(EncodeMessage(probe));
+}
+
 Bytes InitiatorSession::Start() {
   metrics_.sessions_started.Inc();
-  return config_.mode == ReconConfig::Mode::kBloom ? MakeBloomRequest()
-                                                   : MakeFrontierRequest();
+  if (config_.mode == ReconConfig::Mode::kBloom) return MakeBloomRequest();
+  if (config_.mode == ReconConfig::Mode::kSetDiff &&
+      config_.protocol_version >= 2) {
+    return MakeDiffProbe();
+  }
+  // kSetDiff at version 1 never probes: it runs as hash-first
+  // (diff_phase_ stays kInactive, which HashFirstActive() honours).
+  return MakeFrontierRequest();
 }
 
 void InitiatorSession::MarkFailed() {
@@ -148,6 +193,9 @@ Status InitiatorSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
       break;
     case MessageType::kBlockResponse:
       s = HandleBlockResponse(data, out);
+      break;
+    case MessageType::kDiffSketch:
+      s = HandleDiffSketch(data, out);
       break;
     default:
       s = InvalidArgumentError("unexpected message for initiator");
@@ -232,6 +280,15 @@ bool InitiatorSession::CaughtUp() const {
 
 Status InitiatorSession::HandleFrontierResponse(ByteSpan data,
                                                 std::vector<Bytes>* out) {
+  if (config_.mode == ReconConfig::Mode::kSetDiff &&
+      diff_phase_ != DiffPhase::kFellBack &&
+      diff_phase_ != DiffPhase::kInactive) {
+    // Mid-negotiation the responder only ever sends sketches and
+    // block responses; an unsolicited frontier response is hostile.
+    const Status s = InvalidArgumentError("unexpected message for initiator");
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
   FrontierResponse resp;
   if (Status s = DecodeMessage(data, &resp); !s.ok()) {
     metrics_.CountDecodeReject(s);
@@ -268,8 +325,7 @@ Status InitiatorSession::HandleFrontierResponse(ByteSpan data,
     return EscalateOrFail(out);
   }
 
-  if (config_.mode == ReconConfig::Mode::kHashFirst ||
-      (config_.mode == ReconConfig::Mode::kBloom && bloom_round_done_)) {
+  if (HashFirstActive()) {
     // Request only the bodies we miss.
     BlockRequest req;
     for (const chain::BlockHash& h : resp.hashes) {
@@ -307,12 +363,120 @@ Status InitiatorSession::HandleFrontierResponse(ByteSpan data,
   return EscalateOrFail(out);
 }
 
+Status InitiatorSession::HandleDiffSketch(ByteSpan data,
+                                          std::vector<Bytes>* out) {
+  if (config_.mode != ReconConfig::Mode::kSetDiff ||
+      diff_phase_ != DiffPhase::kAwaitSketch) {
+    const Status s = InvalidArgumentError("unexpected message for initiator");
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
+  DiffSketch sketch;
+  if (Status s = DecodeMessage(data, &sketch); !s.ok()) {
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
+  if (sketch.genesis != host_->dag().genesis_hash()) {
+    return FailedPreconditionError("peer is on a different chain");
+  }
+  if (!peer_frontier_known_) {
+    peer_frontier_ = sketch.frontier;
+    peer_frontier_known_ = true;
+  }
+  last_advertised_ = sketch.frontier;
+
+  // Mirror the responder's table over our own set and subtract:
+  // +1 cells are peer-only keys (fetch), -1 cells are ours-only
+  // (report so the responder can expect the push-back).
+  setdiff::Iblt local(sketch.sketch.cell_count(), sketch.seed);
+  for (const chain::BlockHash& h : host_->dag().TopologicalOrder()) {
+    local.Insert(h);
+  }
+  setdiff::Iblt diff = sketch.sketch;
+  VEGVISIR_RETURN_IF_ERROR(diff.Subtract(local));
+
+  std::vector<chain::BlockHash> peer_only;
+  std::vector<chain::BlockHash> local_only;
+  const bool peeled = diff.Peel(&peer_only, &local_only);
+  // A peel claiming more peer-only keys than the peer's whole set is
+  // a checksum-collision artifact; treat it as a failed decode.
+  if (peeled && peer_only.size() <= sketch.set_size) {
+    metrics_.setdiff_decode_success.Inc();
+    DiffResult result;
+    result.decoded = true;
+    result.peer_missing = std::move(local_only);
+    if (result.peer_missing.size() > serial::limits::kMaxDiffHashes) {
+      // The report is informational; the push-back itself carries the
+      // bodies. Keep the message decodable at the peer's wire cap.
+      result.peer_missing.resize(serial::limits::kMaxDiffHashes);
+    }
+    out->push_back(Send(EncodeMessage(result)));
+
+    BlockRequest req;
+    for (const chain::BlockHash& h : peer_only) {
+      if (!host_->HasBlock(h) && stash_.count(h) == 0) {
+        req.hashes.push_back(h);
+      }
+    }
+    if (req.hashes.empty()) {
+      // Empty delta (or every body already quarantined locally).
+      if (TryMerge() && CaughtUp()) {
+        FinishMaybePush(out);
+        return Status::Ok();
+      }
+      return FallBackToLevels(out, /*notify=*/false);
+    }
+    diff_phase_ = DiffPhase::kAwaitBlocks;
+    out->push_back(Send(EncodeMessage(req)));
+    return Status::Ok();
+  }
+
+  metrics_.setdiff_decode_failure.Inc();
+  if (!diff_escalated_) {
+    // One escalation: re-probe with 4x the cells (capped), which also
+    // reseeds the hash family so an unlucky arrangement cannot recur.
+    diff_escalated_ = true;
+    metrics_.setdiff_escalations.Inc();
+    diff_cells_requested_ = static_cast<std::uint32_t>(setdiff::EscalatedCells(
+        sketch.sketch.cell_count(), config_.max_iblt_cells));
+    out->push_back(MakeDiffProbe());
+    return Status::Ok();
+  }
+  return FallBackToLevels(out, /*notify=*/true);
+}
+
+Status InitiatorSession::FallBackToLevels(std::vector<Bytes>* out,
+                                          bool notify) {
+  diff_phase_ = DiffPhase::kFellBack;
+  metrics_.setdiff_fallbacks.Inc();
+  if (notify) {
+    DiffResult result;
+    result.decoded = false;
+    out->push_back(Send(EncodeMessage(result)));
+  }
+  out->push_back(MakeFrontierRequest());
+  return Status::Ok();
+}
+
 Status InitiatorSession::HandleBlockResponse(ByteSpan data,
                                              std::vector<Bytes>* out) {
-  const bool hash_first_active =
-      config_.mode == ReconConfig::Mode::kHashFirst ||
-      (config_.mode == ReconConfig::Mode::kBloom && bloom_round_done_);
-  if (!hash_first_active) {
+  if (config_.mode == ReconConfig::Mode::kSetDiff &&
+      diff_phase_ == DiffPhase::kAwaitBlocks) {
+    BlockResponse resp;
+    if (Status s = DecodeMessage(data, &resp); !s.ok()) {
+      metrics_.CountDecodeReject(s);
+      return s;
+    }
+    VEGVISIR_RETURN_IF_ERROR(StashBlocks(resp.blocks));
+    if (TryMerge() && CaughtUp()) {
+      FinishMaybePush(out);
+      return Status::Ok();
+    }
+    // The exact difference arrived but some of it is still parked
+    // (e.g. quarantined ancestry): close the rest by level walking.
+    return FallBackToLevels(out, /*notify=*/false);
+  }
+  if (!HashFirstActive()) {
     return InvalidArgumentError("unexpected block response");
   }
   BlockResponse resp;
@@ -330,6 +494,9 @@ Status InitiatorSession::HandleBlockResponse(ByteSpan data,
 
 Status InitiatorSession::EscalateOrFail(std::vector<Bytes>* out) {
   if (level_ >= config_.max_level) {
+    // Not an attack, but never silent either: the gap stays open this
+    // session and the gossip engine resumes from this level later.
+    metrics_.level_cap_hit.Inc();
     return ResourceExhaustedError("frontier level cap reached");
   }
   if (config_.escalation == ReconConfig::Escalation::kExponential) {
@@ -399,12 +566,91 @@ Status ResponderSession::OnMessage(ByteSpan data, std::vector<Bytes>* out) {
       return HandleBlockRequest(data, out);
     case MessageType::kPushBlocks:
       return HandlePushBlocks(data);
+    case MessageType::kDiffProbe:
+      return HandleDiffProbe(data, out);
+    case MessageType::kDiffResult:
+      return HandleDiffResult(data);
     default: {
       const Status s = InvalidArgumentError("unexpected message for responder");
       metrics_.CountDecodeReject(s);
       return s;
     }
   }
+}
+
+Status ResponderSession::HandleDiffProbe(ByteSpan data,
+                                         std::vector<Bytes>* out) {
+  if (config_.protocol_version < 2) {
+    // A version-1 node does not speak setdiff; answer exactly like a
+    // pre-setdiff build whose PeekType never heard of tag 6, so a v2
+    // initiator learns to downgrade this peer.
+    const Status s = InvalidArgumentError("unknown message type");
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
+  DiffProbe probe;
+  if (Status s = DecodeMessage(data, &probe); !s.ok()) {
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
+  if (probe.genesis != host_->dag().genesis_hash()) {
+    return FailedPreconditionError("initiator is on a different chain");
+  }
+  stats_.rounds += 1;
+  metrics_.rounds.Inc();
+
+  const chain::Dag& dag = host_->dag();
+  const std::vector<chain::BlockHash> all = dag.TopologicalOrder();
+
+  // Size the sketch from the digest delta estimate unless the probe
+  // asks for a specific (escalated) cell count.
+  std::uint64_t estimate = all.size();  // defensive: shape-mismatch case
+  setdiff::RangeDigest mine;
+  for (const chain::BlockHash& h : all) mine.Insert(h);
+  if (auto est = setdiff::RangeDigest::EstimateDelta(probe.digest, mine);
+      est.ok()) {
+    estimate = *est;
+  }
+  const std::size_t cap = static_cast<std::size_t>(
+      std::min<std::uint64_t>(config_.max_iblt_cells,
+                              serial::limits::kMaxIbltCells));
+  const std::size_t cells =
+      probe.requested_cells > 0
+          ? std::min(static_cast<std::size_t>(probe.requested_cells), cap)
+          : setdiff::CellsForDelta(estimate, cap);
+
+  DiffSketch sketch;
+  sketch.genesis = dag.genesis_hash();
+  sketch.seed = setdiff::SeedForCells(cells);
+  sketch.set_size = all.size();
+  sketch.estimated_delta = estimate;
+  sketch.frontier = dag.Frontier();
+  sketch.sketch = setdiff::Iblt(cells, sketch.seed);
+  for (const chain::BlockHash& h : all) sketch.sketch.Insert(h);
+
+  Bytes encoded = EncodeMessage(sketch);
+  metrics_.setdiff_sketches_sent.Inc();
+  metrics_.setdiff_sketch_bytes.Inc(encoded.size());
+  out->push_back(Send(std::move(encoded)));
+  return Status::Ok();
+}
+
+Status ResponderSession::HandleDiffResult(ByteSpan data) {
+  if (config_.protocol_version < 2) {
+    const Status s = InvalidArgumentError("unknown message type");
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
+  // The verdict is informational: a decoded=true result precedes the
+  // block requests / push-back the normal handlers already cover, and
+  // decoded=false just means frontier requests are coming. Validate
+  // the wire form and move on.
+  DiffResult result;
+  if (Status s = DecodeMessage(data, &result); !s.ok()) {
+    metrics_.CountDecodeReject(s);
+    return s;
+  }
+  return Status::Ok();
 }
 
 Status ResponderSession::HandleFrontierRequest(ByteSpan data,

@@ -17,6 +17,14 @@
 //     order, typically finishing in one round. Bloom false positives
 //     can leave gaps; the session then falls back to hash-first
 //     escalation, so completeness never depends on the filter.
+//   kSetDiff (reconciliation v2, DESIGN.md §16): the initiator probes
+//     with a range digest of its whole hash set, the responder
+//     replies with an IBLT sized to the estimated delta, and a
+//     successful peel yields exactly the differing hashes — wire cost
+//     proportional to the delta, not the DAG. A failed peel escalates
+//     the cell count once, then falls back to hash-first level
+//     escalation; a protocol-version-1 peer rejects the probe
+//     outright and the gossip engine downgrades future sessions.
 //
 // With `push_back` enabled the initiator finishes by pushing the
 // blocks the responder provably lacks (anti-entropy extension; off by
@@ -73,8 +81,19 @@ class ReconHost {
 };
 
 struct ReconConfig {
-  enum class Mode { kBlockPush, kHashFirst, kBloom };
+  enum class Mode { kBlockPush, kHashFirst, kBloom, kSetDiff };
   Mode mode = Mode::kBlockPush;
+  // Highest setdiff protocol revision this node speaks. 1 = legacy
+  // (pre-setdiff: never sends DiffProbe, rejects one as an unknown
+  // message the way an old build's PeekType would); 2 = setdiff
+  // capable. Both sides gate on their own version, so mixed fleets
+  // interoperate: a v2 initiator detects the rejection via the gossip
+  // engine and downgrades that peer to hash-first.
+  std::uint32_t protocol_version = 2;
+  // Ceiling on IBLT cells this node will build or request. Defaults
+  // to the wire cap (serial::limits::kMaxIbltCells); tests lower it
+  // to force peel failures and exercise the fallback ladder.
+  std::uint32_t max_iblt_cells = 1u << 16;
   // Give up escalating past this frontier level (a safety valve; the
   // escalation naturally stops once the set reaches the genesis).
   std::uint32_t max_level = 1u << 20;
@@ -128,6 +147,19 @@ struct SessionMetrics {
   telemetry::Counter blocks_inserted;
   telemetry::Counter blocks_pushed;
   telemetry::Histogram final_level;  // initiator only
+  // Escalation gave up at the configured max_level with the gap still
+  // open (the silent-failure case; surfaced in chain_inspect metrics).
+  telemetry::Counter level_cap_hit;
+  // setdiff negotiation (global setdiff.* names, not per-side: the
+  // probe/decode legs are initiator-only and the sketch legs
+  // responder-only, so per-side copies would just be zeros).
+  telemetry::Counter setdiff_probes;          // initiator
+  telemetry::Counter setdiff_sketches_sent;   // responder
+  telemetry::Counter setdiff_sketch_bytes;    // responder
+  telemetry::Counter setdiff_decode_success;  // initiator
+  telemetry::Counter setdiff_decode_failure;  // initiator
+  telemetry::Counter setdiff_escalations;     // initiator
+  telemetry::Counter setdiff_fallbacks;       // initiator
   // Decode-rejection verdicts, one per early-return class in
   // recon/messages.cpp (see DecodeRejectName).
   telemetry::Counter reject_empty;
@@ -157,11 +189,37 @@ class InitiatorSession {
   const SessionStats& stats() const { return stats_; }
   // The frontier level most recently requested (for session resume).
   std::uint32_t level() const { return level_; }
+  // True while a DiffProbe is in flight with no sketch received yet.
+  // A session failing in this window is the signature of a legacy
+  // (protocol-version-1) responder, which rejects the probe as an
+  // unknown message; the gossip engine uses this to downgrade the
+  // peer to hash-first for future sessions.
+  bool AwaitingSetdiffHandshake() const {
+    return diff_phase_ == DiffPhase::kAwaitSketch;
+  }
 
  private:
+  // setdiff negotiation progress (mode kSetDiff only).
+  enum class DiffPhase {
+    kInactive,     // not negotiating (other modes, or v1 downgrade)
+    kAwaitSketch,  // probe sent, sketch not yet received
+    kAwaitBlocks,  // peel succeeded, fetching the missing bodies
+    kFellBack,     // negotiation abandoned; level escalation active
+  };
+
   Bytes MakeFrontierRequest();
   Bytes MakeBloomRequest();
+  Bytes MakeDiffProbe();
+  // True when frontier responses should carry hashes only and gaps
+  // are closed with BlockRequest fetches (hash-first mode itself, the
+  // bloom and setdiff fallback paths, and the setdiff v1 downgrade).
+  bool HashFirstActive() const;
   Status HandleFrontierResponse(ByteSpan data, std::vector<Bytes>* out);
+  Status HandleDiffSketch(ByteSpan data, std::vector<Bytes>* out);
+  // Abandons the setdiff negotiation for level escalation. `notify`
+  // additionally tells the responder the attempt failed (skipped when
+  // a DiffResult for this attempt was already sent).
+  Status FallBackToLevels(std::vector<Bytes>* out, bool notify);
   Status HandleBlockResponse(ByteSpan data, std::vector<Bytes>* out);
   Status StashBlocks(const std::vector<Bytes>& blocks);
   // Merges the stash into the DAG (fixpoint). Returns true if every
@@ -188,6 +246,13 @@ class InitiatorSession {
   // In bloom mode, set after the summary round; escalation then uses
   // hash-first requests (cheap) to close false-positive gaps.
   bool bloom_round_done_ = false;
+  DiffPhase diff_phase_ = DiffPhase::kInactive;
+  // Cell count to request in the next probe (0 = let the responder
+  // size from its delta estimate; nonzero after a failed peel).
+  std::uint32_t diff_cells_requested_ = 0;
+  // The one cell-count escalation has been spent; the next peel
+  // failure falls back to level escalation.
+  bool diff_escalated_ = false;
   // Bodies received this session, keyed by hash, not yet inserted.
   std::map<chain::BlockHash, chain::Block> stash_;
   // The peer's advertised level-1 frontier (used for push-back).
@@ -215,6 +280,8 @@ class ResponderSession {
   Status HandleFrontierRequest(ByteSpan data, std::vector<Bytes>* out);
   Status HandleBlockRequest(ByteSpan data, std::vector<Bytes>* out);
   Status HandlePushBlocks(ByteSpan data);
+  Status HandleDiffProbe(ByteSpan data, std::vector<Bytes>* out);
+  Status HandleDiffResult(ByteSpan data);
   Bytes Send(Bytes message);
 
   ReconHost* host_;

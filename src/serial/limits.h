@@ -42,6 +42,20 @@ inline constexpr std::uint64_t kMaxWireBlocks = 1u << 16;
 // min(this, their own configured max_level) before walking the DAG.
 inline constexpr std::uint64_t kMaxFrontierLevel = 1u << 20;
 
+// --- set-difference negotiation (setdiff/, recon/messages.cpp) -----
+// Range cells per DiffProbe digest. The probe partitions the 256-bit
+// hash space into a fixed number of ranges (64 today); anything
+// larger than this cap is a hostile or corrupt probe.
+inline constexpr std::uint64_t kMaxDiffRanges = 1u << 10;
+// IBLT cells per DiffSketch. Cells scale with the *delta*, not the
+// DAG, and the responder sizes them at ~1.5x the estimated symmetric
+// difference; a sketch claiming more cells than kMaxWireBlocks worth
+// of delta is useless anyway.
+inline constexpr std::uint64_t kMaxIbltCells = 1u << 16;
+// Hashes per DiffResult report (the decoded one-sided difference; it
+// can never legitimately exceed the cell count that produced it).
+inline constexpr std::uint64_t kMaxDiffHashes = 1u << 16;
+
 // --- block / transaction encoding (chain/) -------------------------
 // Parents per block: the creator links to its current frontier, so
 // this bounds frontier width at block-creation time.

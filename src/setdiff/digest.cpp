@@ -1,0 +1,83 @@
+#include "setdiff/digest.h"
+
+#include <cstring>
+
+#include "serial/limits.h"
+
+namespace vegvisir::setdiff {
+namespace {
+
+// Same mixer family as the IBLT (iblt.cpp) with a fixed fold seed:
+// the digest is a protocol constant both sides must compute
+// identically, so nothing here is negotiated.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t FoldOf(const chain::BlockHash& key) {
+  std::uint64_t lane;
+  std::memcpy(&lane, key.data() + 8, sizeof(lane));
+  return Mix64(lane ^ 0x52414e4745464c44ULL);  // "RANGEFLD"
+}
+
+}  // namespace
+
+void RangeDigest::Insert(const chain::BlockHash& key) {
+  // Leading bits partition the space: with 64 ranges the top 6 bits
+  // of the first key byte select the cell, so range membership is
+  // stable however the cell count grows to other powers of two.
+  const std::size_t range =
+      static_cast<std::size_t>(key[0]) * cells_.size() / 256;
+  RangeCell& cell = cells_[range];
+  cell.count += 1;
+  cell.fold ^= FoldOf(key);
+}
+
+StatusOr<std::uint64_t> RangeDigest::EstimateDelta(const RangeDigest& a,
+                                                   const RangeDigest& b) {
+  if (a.cells_.size() != b.cells_.size()) {
+    return InvalidArgumentError("range digest shape mismatch");
+  }
+  std::uint64_t estimate = 0;
+  for (std::size_t i = 0; i < a.cells_.size(); ++i) {
+    const RangeCell& ca = a.cells_[i];
+    const RangeCell& cb = b.cells_[i];
+    if (ca.count != cb.count) {
+      estimate += ca.count > cb.count ? ca.count - cb.count
+                                      : cb.count - ca.count;
+    } else if (ca.fold != cb.fold) {
+      estimate += 2;  // equal sizes, different content: >= one swap
+    }
+  }
+  return estimate;
+}
+
+void RangeDigest::Encode(serial::Writer* w) const {
+  w->WriteVarint(cells_.size());
+  for (const RangeCell& cell : cells_) {
+    w->WriteVarint(cell.count);
+    w->WriteU64(cell.fold);
+  }
+}
+
+StatusOr<RangeDigest> RangeDigest::Decode(serial::Reader* r) {
+  std::uint64_t count;
+  VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&count));
+  VEGVISIR_RETURN_IF_ERROR(serial::CheckWireCount(
+      count, serial::limits::kMaxDiffRanges, r->remaining(),
+      kRangeCellWireBytes, "range"));
+  if (count == 0) return InvalidArgumentError("range count must be >= 1");
+  RangeDigest out;
+  out.cells_.assign(static_cast<std::size_t>(count), RangeCell{});
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RangeCell& cell = out.cells_[static_cast<std::size_t>(i)];
+    VEGVISIR_RETURN_IF_ERROR(r->ReadVarint(&cell.count));
+    VEGVISIR_RETURN_IF_ERROR(r->ReadU64(&cell.fold));
+  }
+  return out;
+}
+
+}  // namespace vegvisir::setdiff

@@ -1,0 +1,74 @@
+// Range digest: the cheap delta-sizing probe of reconciliation v2.
+//
+// Before committing to an IBLT exchange the initiator sends a fixed,
+// O(1)-sized summary of its whole block-hash set: the 256-bit hash
+// space is partitioned into kDiffRangeCount ranges by leading key
+// bits, and each range carries (element count, order-insensitive
+// 64-bit XOR fold). Comparing two digests gives the responder a
+// symmetric-difference estimate good enough to size the IBLT — per
+// range, a count mismatch lower-bounds the local delta, and an equal
+// count with a differing fold means at least one swap (>= 2 keys).
+//
+// The estimate errs low only when opposite-side differences cancel
+// inside one range (rare at 64 ranges, and the nested before/behind
+// shapes reconciliation actually sees cannot cancel at all); the
+// sketch's 1.5x sizing margin plus the decode-failure escalation
+// ladder absorbs what remains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/types.h"
+#include "serial/codec.h"
+#include "util/status.h"
+
+namespace vegvisir::setdiff {
+
+// Ranges per digest. 64 cells * (<=1+8 bytes) keeps a probe under
+// ~600 bytes while still localizing typical deltas to distinct
+// ranges; the wire cap (serial::limits::kMaxDiffRanges) is higher so
+// the count can grow without a protocol break.
+inline constexpr std::size_t kDiffRangeCount = 64;
+
+// Wire floor of one encoded range cell: 1-byte minimum varint count
+// plus the fixed u64 fold.
+inline constexpr std::size_t kRangeCellWireBytes = 1 + 8;
+
+struct RangeCell {
+  std::uint64_t count = 0;
+  std::uint64_t fold = 0;  // XOR of mixed keys in the range
+
+  bool operator==(const RangeCell& other) const {
+    return count == other.count && fold == other.fold;
+  }
+};
+
+class RangeDigest {
+ public:
+  RangeDigest() : cells_(kDiffRangeCount) {}
+
+  void Insert(const chain::BlockHash& key);
+
+  const std::vector<RangeCell>& cells() const { return cells_; }
+
+  // Estimated symmetric difference |A Δ B|. Digests of different
+  // range counts are incomparable (protocol evolution); the session
+  // treats that as "estimate unavailable" and sizes defensively.
+  static StatusOr<std::uint64_t> EstimateDelta(const RangeDigest& a,
+                                               const RangeDigest& b);
+
+  // Wire form: varint range count, then per range a varint element
+  // count and the fixed u64 fold.
+  void Encode(serial::Writer* w) const;
+  static StatusOr<RangeDigest> Decode(serial::Reader* r);
+
+  bool operator==(const RangeDigest& other) const {
+    return cells_ == other.cells_;
+  }
+
+ private:
+  std::vector<RangeCell> cells_;
+};
+
+}  // namespace vegvisir::setdiff

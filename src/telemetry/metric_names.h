@@ -79,12 +79,18 @@ inline constexpr std::string_view kCounters[] = {
     "node.blocks_rejected",
     "node.foreign_dropped",
     "node.quarantine_expired",
+    // ---- gossip setdiff version gating (src/node/gossip) ------------
+    "setdiff.peer_downgrades",
     // ---- reconciliation sessions (src/recon/session) ----------------
     "recon.initiator.blocks_inserted",
     "recon.initiator.blocks_pushed",
     "recon.initiator.blocks_received",
     "recon.initiator.bytes_received",
     "recon.initiator.bytes_sent",
+    // Escalation hit the configured max_level with the gap still open
+    // (both sides declared because SessionMetrics resolves per side;
+    // only the initiator escalates, so the responder copy stays 0).
+    "recon.initiator.level_cap_hit",
     "recon.initiator.rounds",
     "recon.initiator.sessions_completed",
     "recon.initiator.sessions_failed",
@@ -94,11 +100,23 @@ inline constexpr std::string_view kCounters[] = {
     "recon.responder.blocks_received",
     "recon.responder.bytes_received",
     "recon.responder.bytes_sent",
+    "recon.responder.level_cap_hit",
     "recon.responder.rounds",
     "recon.responder.sessions_completed",
     "recon.responder.sessions_failed",
     "recon.responder.sessions_orphaned",
     "recon.responder.sessions_started",
+    // setdiff negotiation legs (src/recon/session, src/setdiff). The
+    // names are global, not per-side: each leg runs on exactly one
+    // side (probes/decodes on the initiator, sketches on the
+    // responder), so per-side copies would just be zeros.
+    "setdiff.decode_failure",
+    "setdiff.decode_success",
+    "setdiff.escalations",
+    "setdiff.fallbacks",
+    "setdiff.probes",
+    "setdiff.sketch_bytes",
+    "setdiff.sketches_sent",
     // Decode-rejection verdicts: one counter per early-return class in
     // recon/messages.cpp (+ codec), per session side. The suffixes are
     // the stable names DecodeRejectName() returns.

@@ -80,7 +80,8 @@ Status DecodeCorpusInput(const std::string& kind, const Bytes& input) {
     crdt::Value v;
     return crdt::Value::Decode(&r, &v);
   }
-  if (kind == "recon_messages" || kind == "gossip_envelope") {
+  if (kind == "recon_messages" || kind == "setdiff_messages" ||
+      kind == "gossip_envelope") {
     ByteSpan payload = span;
     if (kind == "gossip_envelope") {
       node::GossipEnvelope env;
@@ -109,6 +110,27 @@ Status DecodeCorpusInput(const std::string& kind, const Bytes& input) {
       case recon::MessageType::kPushBlocks: {
         recon::PushBlocks m;
         return recon::DecodeMessage(payload, &m);
+      }
+      case recon::MessageType::kDiffProbe: {
+        recon::DiffProbe m;
+        if (Status s = recon::DecodeMessage(payload, &m); !s.ok()) return s;
+        EXPECT_EQ(recon::EncodeMessage(m), Bytes(payload.begin(),
+                                                 payload.end()));
+        return Status::Ok();
+      }
+      case recon::MessageType::kDiffSketch: {
+        recon::DiffSketch m;
+        if (Status s = recon::DecodeMessage(payload, &m); !s.ok()) return s;
+        EXPECT_EQ(recon::EncodeMessage(m), Bytes(payload.begin(),
+                                                 payload.end()));
+        return Status::Ok();
+      }
+      case recon::MessageType::kDiffResult: {
+        recon::DiffResult m;
+        if (Status s = recon::DecodeMessage(payload, &m); !s.ok()) return s;
+        EXPECT_EQ(recon::EncodeMessage(m), Bytes(payload.begin(),
+                                                 payload.end()));
+        return Status::Ok();
       }
     }
     return InvalidArgumentError("unhandled message type");
@@ -170,6 +192,24 @@ TEST(CorpusTest, ReconHashCountBombRejectedCleanly) {
   const Status status = recon::DecodeMessage(bomb, &out);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.message(), "hash count exceeds input");
+}
+
+TEST(CorpusTest, SetdiffCellCountBombRejectedCleanly) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(recon::MessageType::kDiffSketch));
+  chain::BlockHash genesis;
+  genesis.fill(0x11);
+  w.WriteFixed(genesis);
+  w.WriteU64(setdiff::SeedForCells(16));
+  w.WriteVarint(2);  // set_size
+  w.WriteVarint(1);  // estimated_delta
+  w.WriteVarint(0);  // empty frontier
+  AppendCountBomb(&w);
+  const Bytes bomb = w.Take();
+  recon::DiffSketch out;
+  const Status status = recon::DecodeMessage(bomb, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "cell count exceeds input");
 }
 
 TEST(CorpusTest, MembershipRevocationCountBombRejectedCleanly) {

@@ -473,5 +473,132 @@ TEST(GossipTest, SessionAccountingIdentityHolds) {
   }
 }
 
+// ------------------------------------- Catch-up resume & setdiff v2
+
+TEST(GossipTest, LevelCapHitIsSurfacedWhenCatchUpCannotBridge) {
+  // Node 0's initiator is capped at frontier level 2; node 1 diverges
+  // 40 blocks deep while the link is down. Every catch-up attempt
+  // escalates into the cap, fails, and says so on the books — the
+  // give-up is never silent.
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  recon::ReconConfig capped;
+  capped.mode = recon::ReconConfig::Mode::kHashFirst;
+  capped.max_level = 2;
+  cfg.recon_overrides[0] = capped;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(20'000);
+  ASSERT_TRUE(cluster.Converged());
+
+  topo.RemoveLink(0, 1);
+  chain::BlockHash deep{};
+  for (int i = 0; i < 40; ++i) {
+    const auto h = cluster.node(1).AddWitnessBlock();
+    ASSERT_TRUE(h.ok());
+    deep = *h;
+  }
+  topo.AddLink(0, 1);
+  cluster.RunFor(60'000);
+
+  const telemetry::MetricsRegistry& m = cluster.telemetry(0).metrics;
+  EXPECT_GT(m.CounterValue("recon.initiator.level_cap_hit"), 0u);
+  EXPECT_GT(m.CounterValue("recon.initiator.sessions_failed"), 0u);
+  // The failed catch-ups left their resume mark pinned at the cap...
+  EXPECT_EQ(cluster.gossip(0).ResumeLevelFor(1), 2u);
+  // ...and the gap genuinely stayed open: levels 1-2 only reach the
+  // newest generations, whose ancestors sit in quarantine, uninserted.
+  EXPECT_FALSE(cluster.node(0).dag().Contains(deep));
+  EXPECT_FALSE(cluster.Converged());
+}
+
+TEST(GossipTest, ResumeLevelCarriesFailedCatchUpForward) {
+  // A deep catch-up is interrupted mid-escalation (link drops out
+  // from under the session). The engine must remember how far the
+  // session got, resume the next one from there instead of level 1,
+  // and clear the record once a session finally completes.
+  sim::ExplicitTopology topo(2);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.seed = 7;
+  // Slow rounds (~300 ms RTT) so the mid-catch-up window below is
+  // wide enough to hit deterministically.
+  cfg.link.base_latency_ms = 150;
+  recon::ReconConfig hash_first;
+  hash_first.mode = recon::ReconConfig::Mode::kHashFirst;
+  cfg.recon_overrides[0] = hash_first;
+  cfg.recon_overrides[1] = hash_first;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(20'000);
+  ASSERT_TRUE(cluster.Converged());
+
+  topo.RemoveLink(0, 1);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(cluster.node(1).AddWitnessBlock().ok());
+  }
+  topo.AddLink(0, 1);
+  // Let node 0 start a session and climb a few levels, then cut the
+  // link mid-escalation: the next send fails and the session aborts.
+  cluster.RunFor(4'000);
+  topo.RemoveLink(0, 1);
+  cluster.RunFor(cfg.gossip.session_timeout_ms + 4'000);  // drain
+
+  const std::uint32_t resumed = cluster.gossip(0).ResumeLevelFor(1);
+  EXPECT_GE(resumed, 2u) << "failed catch-up left no resume mark";
+
+  topo.AddLink(0, 1);
+  cluster.RunFor(120'000);
+  EXPECT_TRUE(cluster.Converged());
+  // Success wipes the resume record along with the backoff history.
+  EXPECT_EQ(cluster.gossip(0).ResumeLevelFor(1), 0u);
+  const GossipStats stats = cluster.gossip(0).stats();
+  EXPECT_GT(stats.sessions_completed, 0u);
+  EXPECT_GT(stats.sessions_failed + stats.sessions_aborted +
+                stats.sessions_timed_out,
+            0u);
+}
+
+TEST(GossipTest, LegacyPeerIsDowngradedAndMixedFleetConverges) {
+  // Three-node clique: nodes 0 and 1 speak setdiff v2, node 2 is a
+  // legacy protocol-version-1 build that rejects DiffProbe as an
+  // unknown message. The v2 nodes must detect this (handshake dies
+  // unanswered), downgrade that one peer to hash-first, and keep
+  // using setdiff between themselves.
+  sim::ExplicitTopology topo(3);
+  topo.MakeClique();
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.node_template.recon.mode = recon::ReconConfig::Mode::kSetDiff;
+  recon::ReconConfig legacy;
+  legacy.mode = recon::ReconConfig::Mode::kHashFirst;
+  legacy.protocol_version = 1;
+  cfg.recon_overrides[2] = legacy;
+  Cluster cluster(cfg, &topo);
+  cluster.RunFor(60'000);
+  ASSERT_TRUE(cluster.node(1).AddWitnessBlock().ok());
+  cluster.RunFor(60'000);
+
+  EXPECT_TRUE(cluster.Converged());
+  for (int i : {0, 1}) {
+    EXPECT_TRUE(cluster.gossip(i).IsLegacyPeer(2)) << i;
+    EXPECT_FALSE(cluster.gossip(i).IsLegacyPeer(1 - i)) << i;
+    EXPECT_GE(cluster.gossip(i).stats().peer_downgrades, 1u) << i;
+    const telemetry::MetricsRegistry& m = cluster.telemetry(i).metrics;
+    EXPECT_GT(m.CounterValue("setdiff.probes"), 0u) << i;
+    EXPECT_GT(m.CounterValue("setdiff.decode_success"), 0u) << i;
+  }
+  // The legacy node rejected the probes the way an old PeekType
+  // would: unknown message type, counted on its responder books.
+  const telemetry::MetricsRegistry& legacy_m = cluster.telemetry(2).metrics;
+  EXPECT_GT(legacy_m.CounterValue("recon.responder.reject.unknown_type"),
+            0u);
+  // And it was never probed again after the downgrade stuck: every
+  // v2 node carries at most one downgrade for it.
+  EXPECT_LE(cluster.gossip(0).stats().peer_downgrades, 1u);
+  EXPECT_LE(cluster.gossip(1).stats().peer_downgrades, 1u);
+}
+
 }  // namespace
 }  // namespace vegvisir::node

@@ -85,6 +85,72 @@ TEST(LimitsTest, WireBlockLimitBombRejected) {
   EXPECT_STREQ(recon::DecodeRejectName(status), "count_overflow");
 }
 
+// ------------------------------------------- setdiff wire messages
+
+TEST(LimitsTest, DiffRangeLimitBombRejected) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(recon::MessageType::kDiffProbe));
+  w.WriteU32(1);  // probe version
+  chain::BlockHash h;
+  h.fill(0x21);
+  w.WriteFixed(h);  // genesis
+  w.WriteFixed(h);  // frontier digest
+  w.WriteU32(0);    // no requested cells
+  const Bytes bomb = WithLimitBomb(&w, limits::kMaxDiffRanges,
+                                   setdiff::kRangeCellWireBytes);
+  recon::DiffProbe out;
+  const Status status = recon::DecodeMessage(bomb, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "range count exceeds limit");
+  EXPECT_STREQ(recon::DecodeRejectName(status), "count_overflow");
+}
+
+TEST(LimitsTest, IbltCellLimitBombRejected) {
+  // The expensive half (~2.6 MiB of padding) of the cell-count bomb;
+  // corpus_test pins the cheap "exceeds input" half.
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(recon::MessageType::kDiffSketch));
+  chain::BlockHash h;
+  h.fill(0x22);
+  w.WriteFixed(h);   // genesis
+  w.WriteU64(7);     // seed
+  w.WriteVarint(1);  // set_size
+  w.WriteVarint(1);  // estimated_delta
+  w.WriteVarint(0);  // empty frontier
+  const Bytes bomb = WithLimitBomb(&w, limits::kMaxIbltCells,
+                                   setdiff::kIbltCellWireBytes);
+  recon::DiffSketch out;
+  const Status status = recon::DecodeMessage(bomb, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "cell count exceeds limit");
+  EXPECT_STREQ(recon::DecodeRejectName(status), "count_overflow");
+}
+
+TEST(LimitsTest, DiffHashLimitBombRejected) {
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(recon::MessageType::kDiffResult));
+  w.WriteBool(true);  // decoded
+  const Bytes bomb = WithLimitBomb(&w, limits::kMaxDiffHashes,
+                                   sizeof(chain::BlockHash));
+  recon::DiffResult out;
+  const Status status = recon::DecodeMessage(bomb, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "diff hash count exceeds limit");
+  EXPECT_STREQ(recon::DecodeRejectName(status), "count_overflow");
+}
+
+TEST(LimitsTest, DiffProbeRequestedCellsAboveLimitRejected) {
+  // requested_cells is a fixed-width field, not a wire count, but it
+  // sizes the responder's reply sketch — so the decoder rejects any
+  // value above kMaxIbltCells outright.
+  recon::DiffProbe probe;
+  probe.requested_cells = limits::kMaxIbltCells + 1;
+  recon::DiffProbe out;
+  const Status status = recon::DecodeMessage(recon::EncodeMessage(probe), &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "cell count exceeds limit");
+}
+
 TEST(LimitsTest, FrontierLevelIsCappedByProtocolLimit) {
   // The level is not a count (no allocation), so the session clamps
   // rather than rejects: responders take min(request level, their

@@ -51,16 +51,24 @@ struct Rig {
 
   // Runs a fresh initiator session (after its opening request) into
   // the malformed bytes; the session must fail.
-  void FeedInitiator(const Bytes& data) {
-    InitiatorSession session(node.get(), ReconConfig{});
+  void FeedInitiator(const Bytes& data, ReconConfig cfg = ReconConfig{}) {
+    InitiatorSession session(node.get(), cfg);
     (void)session.Start();
     std::vector<Bytes> out;
     EXPECT_FALSE(session.OnMessage(data, &out).ok());
     EXPECT_EQ(session.state(), SessionState::kFailed);
   }
 
-  void FeedResponder(const Bytes& data) {
-    ResponderSession session(node.get(), ReconConfig{});
+  // A kSetDiff initiator right after its opening DiffProbe, waiting
+  // for a sketch — the state the setdiff decode rejects live in.
+  void FeedSetdiffInitiator(const Bytes& data) {
+    ReconConfig cfg;
+    cfg.mode = ReconConfig::Mode::kSetDiff;
+    FeedInitiator(data, cfg);
+  }
+
+  void FeedResponder(const Bytes& data, ReconConfig cfg = ReconConfig{}) {
+    ResponderSession session(node.get(), cfg);
     std::vector<Bytes> out;
     EXPECT_FALSE(session.OnMessage(data, &out).ok());
   }
@@ -141,6 +149,78 @@ TEST(ReconRejectTest, InitiatorNonCanonicalVarint) {
   w.WriteU8(0x00);
   rig.FeedInitiator(w.Take());
   ExpectOnly(rig, "initiator", "noncanonical");
+}
+
+// ------------------------------------------- setdiff negotiation rejects
+
+// A valid DiffSketch on a non-setdiff initiator is the wrong message
+// for the session's mode, not a decode error.
+TEST(ReconRejectTest, InitiatorSketchOutsideSetdiffMode) {
+  Rig rig;
+  DiffSketch sketch;
+  sketch.genesis = rig.genesis.hash();
+  rig.FeedInitiator(EncodeMessage(sketch));
+  ExpectOnly(rig, "initiator", "unexpected_type");
+}
+
+TEST(ReconRejectTest, InitiatorTruncatedDiffSketch) {
+  Rig rig;
+  DiffSketch sketch;
+  sketch.genesis = rig.genesis.hash();
+  Bytes raw = EncodeMessage(sketch);
+  raw.resize(10);  // cut mid-genesis: a fixed-field read comes up short
+  rig.FeedSetdiffInitiator(raw);
+  ExpectOnly(rig, "initiator", "truncated");
+}
+
+// Chopping the final IBLT cell leaves a cell count the remaining
+// bytes cannot back — the cheap-bomb verdict, not "truncated".
+TEST(ReconRejectTest, InitiatorSketchMissingLastCellIsCountOverflow) {
+  Rig rig;
+  DiffSketch sketch;
+  sketch.genesis = rig.genesis.hash();
+  Bytes raw = EncodeMessage(sketch);
+  raw.pop_back();
+  rig.FeedSetdiffInitiator(raw);
+  ExpectOnly(rig, "initiator", "count_overflow");
+}
+
+TEST(ReconRejectTest, InitiatorIbltCellCountBomb) {
+  Rig rig;
+  serial::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MessageType::kDiffSketch));
+  w.WriteFixed(rig.genesis.hash());
+  w.WriteU64(setdiff::SeedForCells(16));
+  w.WriteVarint(1);  // set_size
+  w.WriteVarint(1);  // estimated_delta
+  w.WriteVarint(0);  // empty frontier
+  w.WriteVarint(0x0800000000000001ULL);  // cell-count bomb
+  for (int i = 0; i < 48; ++i) w.WriteU8(0xAA);
+  rig.FeedSetdiffInitiator(w.Take());
+  ExpectOnly(rig, "initiator", "count_overflow");
+}
+
+TEST(ReconRejectTest, ResponderTruncatedDiffProbe) {
+  Rig rig;
+  DiffProbe probe;
+  probe.genesis = rig.genesis.hash();
+  Bytes raw = EncodeMessage(probe);
+  raw.resize(20);  // cut mid-genesis: a fixed-field read comes up short
+  rig.FeedResponder(raw);
+  ExpectOnly(rig, "responder", "truncated");
+}
+
+// A protocol-version-1 responder must answer a DiffProbe exactly like
+// a pre-setdiff build that never heard of tag 6 — "unknown message
+// type" — so a v2 initiator learns to downgrade the peer.
+TEST(ReconRejectTest, LegacyResponderRejectsDiffProbeAsUnknown) {
+  Rig rig;
+  DiffProbe probe;
+  probe.genesis = rig.genesis.hash();
+  ReconConfig v1;
+  v1.protocol_version = 1;
+  rig.FeedResponder(EncodeMessage(probe), v1);
+  ExpectOnly(rig, "responder", "unknown_type");
 }
 
 // ------------------------------------------------------- responder side
@@ -227,6 +307,11 @@ TEST(ReconRejectTest, DecodeRejectNamePinsEveryVerdict) {
   // count backed by real padding; see tests/limits_test.cpp).
   EXPECT_STREQ(name("hash count exceeds limit"), "count_overflow");
   EXPECT_STREQ(name("block count exceeds limit"), "count_overflow");
+  // Setdiff wire counts (range digest, IBLT cells, diff-hash report).
+  EXPECT_STREQ(name("range count exceeds input"), "count_overflow");
+  EXPECT_STREQ(name("cell count exceeds input"), "count_overflow");
+  EXPECT_STREQ(name("cell count exceeds limit"), "count_overflow");
+  EXPECT_STREQ(name("diff hash count exceeds input"), "count_overflow");
   EXPECT_STREQ(name("truncated input"), "truncated");
   EXPECT_STREQ(name("trailing bytes after value"), "trailing");
   EXPECT_STREQ(name("non-minimal varint"), "noncanonical");

@@ -1,0 +1,519 @@
+// Reconciliation v2 (DESIGN.md §16): the IBLT codec, the range-digest
+// delta estimator, the three negotiation messages, and the kSetDiff
+// session ladder end to end — including the decode-failure escalation
+// and the level-escalation fallback, which must reconverge exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/genesis.h"
+#include "crypto/drbg.h"
+#include "node/node.h"
+#include "recon/messages.h"
+#include "recon/session.h"
+#include "serial/codec.h"
+#include "serial/limits.h"
+#include "setdiff/digest.h"
+#include "setdiff/iblt.h"
+#include "util/rng.h"
+
+namespace vegvisir::setdiff {
+namespace {
+
+using chain::BlockHash;
+
+BlockHash HashFromRng(Rng* rng) {
+  BlockHash h;
+  for (std::size_t i = 0; i < h.size(); i += 8) {
+    const std::uint64_t v = rng->NextU64();
+    for (std::size_t j = 0; j < 8; ++j) {
+      h[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+  }
+  return h;
+}
+
+// ------------------------------------------------------------- IBLT
+
+TEST(IbltTest, InsertEraseCancelsToZero) {
+  Rng rng(1);
+  Iblt t(32, SeedForCells(32));
+  std::vector<BlockHash> keys;
+  for (int i = 0; i < 10; ++i) keys.push_back(HashFromRng(&rng));
+  for (const auto& k : keys) t.Insert(k);
+  for (const auto& k : keys) t.Erase(k);
+  for (const auto& cell : t.cells()) EXPECT_TRUE(cell.IsZero());
+}
+
+TEST(IbltTest, SubtractRequiresMatchingGeometry) {
+  Iblt a(16, 1);
+  Iblt wrong_cells(32, 1);
+  Iblt wrong_seed(16, 2);
+  EXPECT_FALSE(a.Subtract(wrong_cells).ok());
+  EXPECT_FALSE(a.Subtract(wrong_seed).ok());
+  Iblt ok(16, 1);
+  EXPECT_TRUE(a.Subtract(ok).ok());
+}
+
+// The core property: random symmetric differences within the sizing
+// margin peel back exactly — every differing key on the correct side,
+// both outputs sorted, nothing invented.
+TEST(IbltTest, RandomSymmetricDifferencesDecodeExactly) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t shared = rng.NextBelow(200);
+    const std::size_t a_only_n = rng.NextBelow(20);
+    const std::size_t b_only_n = rng.NextBelow(20);
+    const std::size_t cells =
+        CellsForDelta(a_only_n + b_only_n, serial::limits::kMaxIbltCells);
+    const std::uint64_t seed = SeedForCells(cells);
+
+    Iblt a(cells, seed);
+    Iblt b(cells, seed);
+    std::vector<BlockHash> a_only, b_only;
+    for (std::size_t i = 0; i < shared; ++i) {
+      const BlockHash h = HashFromRng(&rng);
+      a.Insert(h);
+      b.Insert(h);
+    }
+    for (std::size_t i = 0; i < a_only_n; ++i) {
+      a_only.push_back(HashFromRng(&rng));
+      a.Insert(a_only.back());
+    }
+    for (std::size_t i = 0; i < b_only_n; ++i) {
+      b_only.push_back(HashFromRng(&rng));
+      b.Insert(b_only.back());
+    }
+
+    // Mirror the session ladder: peel at the estimated size, and on
+    // the (rare, legitimate) failure retry once at the escalated
+    // size, which must always succeed for in-margin deltas.
+    std::vector<BlockHash> plus, minus;
+    Iblt diff = a;
+    ASSERT_TRUE(diff.Subtract(b).ok());
+    if (!diff.Peel(&plus, &minus)) {
+      const std::size_t big =
+          EscalatedCells(cells, serial::limits::kMaxIbltCells);
+      const std::uint64_t big_seed = SeedForCells(big);
+      // Rebuild at the escalated geometry. Shared keys cancel under
+      // subtraction, so inserting only the difference is equivalent.
+      Iblt a2(big, big_seed), b2(big, big_seed);
+      for (const auto& k : a_only) a2.Insert(k);
+      for (const auto& k : b_only) b2.Insert(k);
+      ASSERT_TRUE(a2.Subtract(b2).ok());
+      ASSERT_TRUE(a2.Peel(&plus, &minus))
+          << "trial " << trial << ": delta " << (a_only_n + b_only_n)
+          << " failed to peel even at " << big << " cells";
+    }
+    std::sort(a_only.begin(), a_only.end());
+    std::sort(b_only.begin(), b_only.end());
+    EXPECT_EQ(plus, a_only) << "trial " << trial;
+    EXPECT_EQ(minus, b_only) << "trial " << trial;
+    EXPECT_TRUE(std::is_sorted(plus.begin(), plus.end()));
+    EXPECT_TRUE(std::is_sorted(minus.begin(), minus.end()));
+  }
+}
+
+// Oversized deltas must fail loudly — Peel returns false with empty
+// outputs — never silently return a subset.
+TEST(IbltTest, OversizedDeltaFailsLoudly) {
+  Rng rng(7);
+  const std::size_t cells = 16;
+  Iblt a(cells, SeedForCells(cells));
+  Iblt b(cells, SeedForCells(cells));
+  // 64 differing keys cannot fit a 16-cell table (threshold ~cells/1.3).
+  for (int i = 0; i < 64; ++i) a.Insert(HashFromRng(&rng));
+  ASSERT_TRUE(a.Subtract(b).ok());
+  std::vector<BlockHash> plus, minus;
+  EXPECT_FALSE(a.Peel(&plus, &minus));
+  EXPECT_TRUE(plus.empty());
+  EXPECT_TRUE(minus.empty());
+}
+
+TEST(IbltTest, EncodeDecodeRoundTripsByteExactly) {
+  Rng rng(9);
+  Iblt t(24, SeedForCells(24));
+  for (int i = 0; i < 12; ++i) t.Insert(HashFromRng(&rng));
+  serial::Writer w;
+  t.Encode(&w);
+  const Bytes raw = w.Take();
+  serial::Reader r(raw);
+  auto back = Iblt::Decode(&r, t.seed());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->cell_count(), t.cell_count());
+  EXPECT_TRUE(back->cells() == t.cells());
+  serial::Writer w2;
+  back->Encode(&w2);
+  EXPECT_EQ(w2.Take(), raw);
+}
+
+TEST(IbltTest, SizingPolicy) {
+  // 2x margin with a floor of 16, clamped to the cap.
+  EXPECT_EQ(CellsForDelta(0, 1u << 16), 16u);
+  EXPECT_EQ(CellsForDelta(4, 1u << 16), 16u);
+  EXPECT_EQ(CellsForDelta(100, 1u << 16), 208u);
+  EXPECT_EQ(CellsForDelta(1u << 20, 1u << 16), std::size_t{1} << 16);
+  EXPECT_EQ(EscalatedCells(16, 1u << 16), 64u);
+  EXPECT_EQ(EscalatedCells(100, 128), 128u);
+  // Escalation re-seeds the hash family.
+  EXPECT_NE(SeedForCells(16), SeedForCells(64));
+}
+
+// Partitioned subtables: a key's three cells are always distinct
+// (each position draws from its own third of the table). Without
+// this, a key self-colliding on all three positions leaves a count-3
+// cell no table size can peel. Pinned via the public surface: a
+// single-key difference must peel at every table size.
+TEST(IbltTest, SingleKeyAlwaysPeelsAtAnySize) {
+  Rng rng(31);
+  for (const std::size_t cells : {3u, 4u, 5u, 7u, 16u, 33u, 100u}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      Iblt a(cells, SeedForCells(cells) + trial);
+      const BlockHash h = HashFromRng(&rng);
+      a.Insert(h);
+      Iblt b(cells, a.seed());
+      ASSERT_TRUE(a.Subtract(b).ok());
+      std::vector<BlockHash> plus, minus;
+      ASSERT_TRUE(a.Peel(&plus, &minus))
+          << cells << " cells, trial " << trial;
+      ASSERT_EQ(plus.size(), 1u);
+      EXPECT_EQ(plus[0], h);
+      EXPECT_TRUE(minus.empty());
+    }
+  }
+}
+
+// ----------------------------------------------------- range digest
+
+TEST(RangeDigestTest, IdenticalSetsEstimateZero) {
+  Rng rng(11);
+  RangeDigest a, b;
+  for (int i = 0; i < 100; ++i) {
+    const BlockHash h = HashFromRng(&rng);
+    a.Insert(h);
+    b.Insert(h);
+  }
+  auto est = RangeDigest::EstimateDelta(a, b);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 0u);
+}
+
+// The nested shape reconciliation actually sees (one side strictly
+// ahead): per-range count mismatches sum to the exact delta.
+TEST(RangeDigestTest, NestedSetsEstimateExactDelta) {
+  Rng rng(13);
+  RangeDigest behind, ahead;
+  for (int i = 0; i < 128; ++i) {
+    const BlockHash h = HashFromRng(&rng);
+    behind.Insert(h);
+    ahead.Insert(h);
+  }
+  for (int i = 0; i < 37; ++i) ahead.Insert(HashFromRng(&rng));
+  auto est = RangeDigest::EstimateDelta(behind, ahead);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 37u);
+}
+
+TEST(RangeDigestTest, EqualCountsWithDifferentFoldsCountAsSwap) {
+  // Force two different keys into the same range (same leading byte):
+  // counts match, folds differ, so the estimate must report >= 2.
+  // Same leading byte (same range), different bytes inside the fold
+  // lane (bytes 8-15), so the folds must disagree.
+  BlockHash x{}, y{};
+  x.fill(0x00);
+  y.fill(0x00);
+  x[9] = 1;
+  y[9] = 2;
+  RangeDigest a, b;
+  a.Insert(x);
+  b.Insert(y);
+  auto est = RangeDigest::EstimateDelta(a, b);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 2u);
+}
+
+TEST(RangeDigestTest, ShapeMismatchIsLoud) {
+  // A digest with a non-standard range count can only arrive over the
+  // wire (protocol evolution); estimating against it must error, not
+  // fabricate a delta.
+  serial::Writer w;
+  w.WriteVarint(32);
+  for (int i = 0; i < 32; ++i) {
+    w.WriteVarint(0);
+    w.WriteU64(0);
+  }
+  const Bytes raw = w.Take();
+  serial::Reader r(raw);
+  auto narrow = RangeDigest::Decode(&r);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_FALSE(RangeDigest::EstimateDelta(RangeDigest{}, *narrow).ok());
+}
+
+TEST(RangeDigestTest, EncodeDecodeRoundTripsByteExactly) {
+  Rng rng(17);
+  RangeDigest d;
+  for (int i = 0; i < 40; ++i) d.Insert(HashFromRng(&rng));
+  serial::Writer w;
+  d.Encode(&w);
+  const Bytes raw = w.Take();
+  serial::Reader r(raw);
+  auto back = RangeDigest::Decode(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == d);
+  serial::Writer w2;
+  back->Encode(&w2);
+  EXPECT_EQ(w2.Take(), raw);
+}
+
+// ------------------------------------------------- wire messages
+
+TEST(DiffMessagesTest, ProbeRoundTripsByteExactly) {
+  Rng rng(19);
+  recon::DiffProbe probe;
+  probe.genesis.fill(0x31);
+  probe.frontier_digest.fill(0x32);
+  probe.requested_cells = 256;
+  for (int i = 0; i < 25; ++i) probe.digest.Insert(HashFromRng(&rng));
+  const Bytes raw = recon::EncodeMessage(probe);
+  ASSERT_EQ(*recon::PeekType(raw), recon::MessageType::kDiffProbe);
+  recon::DiffProbe out;
+  ASSERT_TRUE(recon::DecodeMessage(raw, &out).ok());
+  EXPECT_EQ(out.genesis, probe.genesis);
+  EXPECT_EQ(out.frontier_digest, probe.frontier_digest);
+  EXPECT_EQ(out.requested_cells, 256u);
+  EXPECT_TRUE(out.digest == probe.digest);
+  EXPECT_EQ(recon::EncodeMessage(out), raw);
+}
+
+TEST(DiffMessagesTest, SketchRoundTripsByteExactly) {
+  Rng rng(23);
+  recon::DiffSketch sketch;
+  sketch.genesis.fill(0x33);
+  sketch.seed = SeedForCells(48);
+  sketch.set_size = 9;
+  sketch.estimated_delta = 3;
+  sketch.frontier = {HashFromRng(&rng), HashFromRng(&rng)};
+  sketch.sketch = Iblt(48, sketch.seed);
+  for (int i = 0; i < 9; ++i) sketch.sketch.Insert(HashFromRng(&rng));
+  const Bytes raw = recon::EncodeMessage(sketch);
+  ASSERT_EQ(*recon::PeekType(raw), recon::MessageType::kDiffSketch);
+  recon::DiffSketch out;
+  ASSERT_TRUE(recon::DecodeMessage(raw, &out).ok());
+  EXPECT_EQ(out.seed, sketch.seed);
+  EXPECT_EQ(out.set_size, 9u);
+  EXPECT_EQ(out.estimated_delta, 3u);
+  EXPECT_EQ(out.frontier, sketch.frontier);
+  EXPECT_TRUE(out.sketch.cells() == sketch.sketch.cells());
+  EXPECT_EQ(recon::EncodeMessage(out), raw);
+}
+
+TEST(DiffMessagesTest, ResultRoundTripsByteExactly) {
+  Rng rng(29);
+  recon::DiffResult result;
+  result.decoded = true;
+  result.peer_missing = {HashFromRng(&rng), HashFromRng(&rng),
+                         HashFromRng(&rng)};
+  const Bytes raw = recon::EncodeMessage(result);
+  ASSERT_EQ(*recon::PeekType(raw), recon::MessageType::kDiffResult);
+  recon::DiffResult out;
+  ASSERT_TRUE(recon::DecodeMessage(raw, &out).ok());
+  EXPECT_TRUE(out.decoded);
+  EXPECT_EQ(out.peer_missing, result.peer_missing);
+  EXPECT_EQ(recon::EncodeMessage(out), raw);
+}
+
+// --------------------------------------------------- session ladder
+
+crypto::KeyPair TestKeys(std::uint64_t seed) {
+  crypto::Drbg drbg(seed);
+  return crypto::KeyPair::Generate(drbg);
+}
+
+struct Rig {
+  crypto::KeyPair owner_keys = TestKeys(1);
+  chain::Block genesis = chain::GenesisBuilder("setdiff-chain")
+                             .WithTimestamp(100)
+                             .Build("owner", owner_keys);
+
+  std::unique_ptr<node::Node> MakeNode() {
+    node::NodeConfig cfg;
+    cfg.user_id = "owner";
+    auto n = std::make_unique<node::Node>(cfg, genesis, owner_keys);
+    n->SetTime(1'000'000);
+    return n;
+  }
+
+  // Gives `ahead` a history `shared + delta` blocks long, of which
+  // `behind` holds the first `shared`.
+  void Diverge(node::Node* behind, node::Node* ahead, int shared,
+               int delta) {
+    for (int i = 0; i < shared; ++i) {
+      const auto h = ahead->AddWitnessBlock();
+      ASSERT_TRUE(h.ok());
+      ASSERT_EQ(behind->OfferBlock(*ahead->dag().Find(*h)),
+                chain::BlockVerdict::kValid);
+    }
+    for (int i = 0; i < delta; ++i) {
+      ASSERT_TRUE(ahead->AddWitnessBlock().ok());
+    }
+  }
+};
+
+bool SameBlocks(const node::Node& a, const node::Node& b) {
+  const auto ha = a.dag().TopologicalOrder();
+  const auto hb = b.dag().TopologicalOrder();
+  return std::set<BlockHash>(ha.begin(), ha.end()) ==
+         std::set<BlockHash>(hb.begin(), hb.end());
+}
+
+TEST(SetdiffSessionTest, DeepHistorySmallDeltaConverges) {
+  Rig rig;
+  auto behind = rig.MakeNode();
+  auto ahead = rig.MakeNode();
+  rig.Diverge(behind.get(), ahead.get(), 300, 5);
+  recon::ReconConfig cfg;
+  cfg.mode = recon::ReconConfig::Mode::kSetDiff;
+  recon::SessionStats stats;
+  ASSERT_EQ(recon::RunLocalSession(behind.get(), ahead.get(), cfg, &stats),
+            recon::SessionState::kDone);
+  EXPECT_TRUE(SameBlocks(*behind, *ahead));
+  EXPECT_EQ(stats.blocks_received, 5u);
+  EXPECT_EQ(
+      behind->telemetry()->metrics.CounterValue("setdiff.decode_success"), 1u);
+}
+
+TEST(SetdiffSessionTest, IdenticalReplicasFinishOnEmptySketch) {
+  Rig rig;
+  auto a = rig.MakeNode();
+  auto b = rig.MakeNode();
+  rig.Diverge(a.get(), b.get(), 20, 0);
+  recon::ReconConfig cfg;
+  cfg.mode = recon::ReconConfig::Mode::kSetDiff;
+  recon::SessionStats stats;
+  ASSERT_EQ(recon::RunLocalSession(a.get(), b.get(), cfg, &stats),
+            recon::SessionState::kDone);
+  EXPECT_EQ(stats.blocks_received, 0u);
+}
+
+// The acceptance-shaped property: bytes scale with the delta, not the
+// shared history. The same 8-block delta over a 16x deeper history
+// must cost (nearly) the same bytes.
+TEST(SetdiffSessionTest, BytesTrackDeltaNotDepth) {
+  Rig rig;
+  std::uint64_t bytes_at[2] = {0, 0};
+  const int depths[2] = {32, 512};
+  for (int i = 0; i < 2; ++i) {
+    auto behind = rig.MakeNode();
+    auto ahead = rig.MakeNode();
+    rig.Diverge(behind.get(), ahead.get(), depths[i], 8);
+    recon::ReconConfig cfg;
+    cfg.mode = recon::ReconConfig::Mode::kSetDiff;
+    recon::SessionStats stats;
+    ASSERT_EQ(recon::RunLocalSession(behind.get(), ahead.get(), cfg, &stats),
+              recon::SessionState::kDone);
+    ASSERT_TRUE(SameBlocks(*behind, *ahead));
+    bytes_at[i] = stats.bytes_received;
+  }
+  // Identical negotiation geometry at both depths: the probe, sketch
+  // and bodies are delta-sized, so depth adds nothing but hash noise.
+  EXPECT_LT(bytes_at[1], bytes_at[0] + bytes_at[0] / 2)
+      << "bytes grew with depth: " << bytes_at[0] << " -> " << bytes_at[1];
+}
+
+// Force a peel failure (cell ceiling far below the delta) and check
+// the declared ladder: one escalation, then fallback to level
+// escalation, and the replicas still reconverge exactly.
+TEST(SetdiffSessionTest, DecodeFailureFallsBackAndReconverges) {
+  Rig rig;
+  auto behind = rig.MakeNode();
+  auto ahead = rig.MakeNode();
+  rig.Diverge(behind.get(), ahead.get(), 16, 80);
+  recon::ReconConfig cfg;
+  cfg.mode = recon::ReconConfig::Mode::kSetDiff;
+  cfg.max_iblt_cells = 16;  // 80 differing keys cannot peel
+  recon::SessionStats stats;
+  ASSERT_EQ(recon::RunLocalSession(behind.get(), ahead.get(), cfg, &stats),
+            recon::SessionState::kDone);
+  EXPECT_TRUE(SameBlocks(*behind, *ahead));
+  const auto& metrics = behind->telemetry()->metrics;
+  EXPECT_GE(metrics.CounterValue("setdiff.decode_failure"), 1u);
+  EXPECT_EQ(metrics.CounterValue("setdiff.escalations"), 1u);
+  EXPECT_EQ(metrics.CounterValue("setdiff.fallbacks"), 1u);
+}
+
+// A mutual-divergence shape: each side holds blocks the other lacks.
+// The initiator pulls what it is missing, and with push_back on it
+// also ships the responder the blocks the peel proved it lacks.
+TEST(SetdiffSessionTest, MutualDivergenceWithPushBack) {
+  Rig rig;
+  auto a = rig.MakeNode();
+  auto b = rig.MakeNode();
+  rig.Diverge(a.get(), b.get(), 30, 6);
+  // Distinct clock so a's fork blocks do not deterministically mint
+  // the same hashes as b's (same keys + same timestamps would); b's
+  // clock advances too so the pushed blocks clear its skew check.
+  a->SetTime(2'000'000);
+  b->SetTime(2'000'000);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(a->AddWitnessBlock().ok());
+  recon::ReconConfig cfg;
+  cfg.mode = recon::ReconConfig::Mode::kSetDiff;
+  cfg.push_back = true;
+  recon::SessionStats stats;
+  ASSERT_EQ(recon::RunLocalSession(a.get(), b.get(), cfg, &stats),
+            recon::SessionState::kDone);
+  EXPECT_TRUE(SameBlocks(*a, *b));
+  EXPECT_EQ(stats.blocks_received, 6u);
+  EXPECT_EQ(stats.blocks_pushed, 4u);
+}
+
+// Version gating, initiator side: a node configured for setdiff but
+// capped at protocol version 1 must never emit a DiffProbe — it runs
+// the hash-first ladder instead and still converges.
+TEST(SetdiffSessionTest, VersionOneInitiatorNeverProbes) {
+  Rig rig;
+  auto behind = rig.MakeNode();
+  auto ahead = rig.MakeNode();
+  rig.Diverge(behind.get(), ahead.get(), 10, 3);
+  recon::ReconConfig cfg;
+  cfg.mode = recon::ReconConfig::Mode::kSetDiff;
+  cfg.protocol_version = 1;
+  ASSERT_EQ(recon::RunLocalSession(behind.get(), ahead.get(), cfg, nullptr),
+            recon::SessionState::kDone);
+  EXPECT_TRUE(SameBlocks(*behind, *ahead));
+  EXPECT_EQ(behind->telemetry()->metrics.CounterValue("setdiff.probes"), 0u);
+}
+
+// Version gating, responder side: a legacy responder rejects the
+// probe like an unknown message, and the initiator session dies still
+// awaiting its sketch — the exact signature the gossip engine uses to
+// downgrade the peer.
+TEST(SetdiffSessionTest, LegacyResponderFailsHandshakeRecognizably) {
+  Rig rig;
+  auto behind = rig.MakeNode();
+  auto ahead = rig.MakeNode();
+  rig.Diverge(behind.get(), ahead.get(), 10, 3);
+  recon::ReconConfig v2;
+  v2.mode = recon::ReconConfig::Mode::kSetDiff;
+  recon::InitiatorSession initiator(behind.get(), v2);
+  recon::ReconConfig v1;
+  v1.protocol_version = 1;
+  recon::ResponderSession responder(ahead.get(), v1);
+
+  const Bytes probe = initiator.Start();
+  EXPECT_TRUE(initiator.AwaitingSetdiffHandshake());
+  std::vector<Bytes> out;
+  const Status status = responder.OnMessage(probe, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "unknown message type");
+  EXPECT_TRUE(out.empty());
+  // The initiator never gets a reply; it is still in the handshake
+  // window, which is what MaybeDowngradePeer keys on.
+  EXPECT_TRUE(initiator.AwaitingSetdiffHandshake());
+}
+
+}  // namespace
+}  // namespace vegvisir::setdiff

@@ -59,8 +59,8 @@ import wire_taint as wt  # noqa: E402  (tokens front-end + allow-file)
 # confined to the wire layer (telemetry export and sim report files
 # are sinks too).
 SCAN_DIRS = ("baseline", "chain", "crdt", "crypto", "csm", "exec", "node",
-             "recon", "serial", "sim", "storage", "support", "telemetry",
-             "util")
+             "recon", "serial", "setdiff", "sim", "storage", "support",
+             "telemetry", "util")
 
 UNORDERED_DECL = re.compile(
     r"\b(?:std\s*::\s*)?(unordered_(?:map|set|multimap|multiset))\s*<")

@@ -29,7 +29,7 @@ fi
 # particular hold the lock-heavy code (pool, verifier, tiered store)
 # that motivated it. A reorganization that renames or empties one must
 # update this list consciously, not silently shrink the scan.
-for must_cover in exec storage telemetry; do
+for must_cover in exec setdiff storage telemetry; do
   if ! ls "$ROOT/src/$must_cover"/*.cpp >/dev/null 2>&1; then
     echo "coverage regression: src/$must_cover has no sources to scan" >&2
     exit 1

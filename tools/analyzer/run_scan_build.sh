@@ -35,7 +35,8 @@ scan-build -o "$workdir/reports" --status-bugs \
 # skips them would make "clean" meaningless for exactly the code this
 # wall exists for).
 for tu in src/exec/pool.cpp src/exec/verifier.cpp \
-          src/storage/engine.cpp src/storage/log.cpp; do
+          src/storage/engine.cpp src/storage/log.cpp \
+          src/setdiff/iblt.cpp; do
   if ! grep -q "$(basename "$tu")" "$workdir/build.log"; then
     echo "scan-build coverage regression: $tu never built under the" \
          "analyzer (see $workdir/build.log)" >&2

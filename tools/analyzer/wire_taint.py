@@ -68,7 +68,7 @@ import sys
 # support/ and baseline/ never touch a serial::Reader (grep-verified;
 # widen here the day one does).
 SCAN_DIRS = ("serial", "recon", "node", "chain", "csm", "crdt", "util",
-             "storage")
+             "storage", "setdiff")
 
 INT_SOURCES = r"ReadU8|ReadU16|ReadU32|ReadU64|ReadI64|ReadVarint"
 DATA_SOURCES = r"ReadBytes|ReadString|ReadFixed|ReadBool"
